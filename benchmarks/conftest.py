@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures (or an
+ablation the paper calls out) and records wall-clock cost through
+pytest-benchmark.  Heavy simulation sweeps run a single round via
+``benchmark.pedantic`` so the full harness stays in the tens of
+seconds; analytic-only benches use normal calibration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a heavy function with one round and return its value."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,25 @@
+"""Benchmark regenerating the cache-reality comparison.
+
+Measures the paper's closing claim — realistic cache traffic widens
+the SMC's advantage — as part of the harness.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cache_reality import run
+
+
+def test_cache_reality(benchmark):
+    stride1, stride4 = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Stride 1: every realistic ratio is at least the idealized one
+    # would suggest for copy (write-allocate makes copy much worse).
+    copy_rows = [row for row in stride1.rows if row[0] == "copy"]
+    for row in copy_rows:
+        ideal, direct, smc_ratio = row[2], row[3], row[6]
+        assert direct < ideal
+        assert smc_ratio > 2.5
+
+    # Stride 4: the SMC advantage is larger still on PI.
+    pi_rows = [row for row in stride4.rows if row[1] == "PI"]
+    assert all(row[6] > 3.5 for row in pi_rows)

@@ -1,0 +1,32 @@
+"""Benchmarks regenerating Figure 7 (the 16-panel FIFO-depth sweep).
+
+One benchmark per panel: kernel x organization x vector length, each
+sweeping FIFO depths 8-128 with both vector alignments plus the
+analytic limits — the exact series the paper plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.kernels import PAPER_KERNELS, get_kernel
+from repro.experiments.figure7 import run_panel
+
+
+@pytest.mark.parametrize("length", [128, 1024])
+@pytest.mark.parametrize("org", ["cli", "pi"])
+@pytest.mark.parametrize("kernel", sorted(PAPER_KERNELS))
+def test_figure7_panel(benchmark, kernel, org, length):
+    panel = benchmark.pedantic(
+        run_panel, args=(get_kernel(kernel), org, length), rounds=1, iterations=1
+    )
+    rows = panel.table.rows
+    assert [row[0] for row in rows] == [8, 16, 32, 64, 128]
+    # The SMC simulations and limits are physical percentages.
+    for row in rows:
+        assert all(0 < value <= 100.0001 for value in row[1:])
+    # The deepest-FIFO staggered SMC beats the natural-order limit on
+    # long vectors (the paper's headline claim for every kernel).
+    if length == 1024:
+        depth, cache, combined, staggered, aligned = rows[-1]
+        assert staggered > cache

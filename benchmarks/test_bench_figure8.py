@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 8 (single-stream strided fills)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure8 import run
+
+
+def test_figure8(benchmark):
+    table = benchmark(run)
+    strides = [row[0] for row in table.rows]
+    cli = [row[1] for row in table.rows]
+    pi = [row[2] for row in table.rows]
+    assert strides == list(range(1, 33))
+    # The paper's shape: both curves fall with stride up to the
+    # cacheline size; PI sits above CLI; large strides deliver a
+    # small fraction of the potential bandwidth.
+    assert cli[0] == pytest.approx(33.33, abs=0.01)
+    assert cli[3] == cli[31] == pytest.approx(8.33, abs=0.01)
+    assert all(p > c for p, c in zip(pi, cli))
+    assert pi[31] < 12

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 9 (vaxpy at non-unit strides)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure9 import STRIDES, run
+
+
+def test_figure9(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert [row[0] for row in table.rows] == list(STRIDES)
+    by_stride = {row[0]: row for row in table.rows}
+
+    # Cache bounds are flat across strides beyond the cacheline.
+    assert by_stride[4][3] == by_stride[60][3]
+    assert by_stride[4][4] == by_stride[60][4]
+
+    # PI-SMC starts far above the cache bound at small strides
+    # ("up to 2.2 times the maximum effective bandwidth of the naive
+    # approach") and declines with stride.
+    assert by_stride[4][1] > 2.0 * by_stride[4][3]
+    assert by_stride[60][1] < by_stride[4][1]
+
+    # CLI-SMC dips at strides that are multiples of 16 (the paper's
+    # "performs worse for strides that are multiples of 16").
+    assert by_stride[16][2] < by_stride[12][2]
+    assert by_stride[48][2] < by_stride[44][2]

@@ -1,0 +1,16 @@
+"""Benchmark regenerating the FPM heritage comparison (Section 3)."""
+
+from __future__ import annotations
+
+from repro.experiments.fpm_heritage import run
+
+
+def test_fpm_heritage(benchmark):
+    table = benchmark(run)
+    for row in table.rows:
+        natural, deepest, speedup = row[1], row[6], row[7]
+        # Section 3: over 90% of attainable at deep FIFOs, and a solid
+        # memory-level speedup over natural order.
+        assert deepest > 90
+        assert speedup > 2.0
+        assert deepest > natural

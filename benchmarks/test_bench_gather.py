@@ -1,0 +1,58 @@
+"""Ablation: access order for indexed (gather) streams.
+
+Beyond the paper's affine streams: the same order-determines-bandwidth
+result on irregular access, motivated by the paper's Impulse
+discussion.  Each bench gathers the same 1024 elements under a
+different index ordering.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.gather import simulate_gather
+from repro.memsys.config import MemorySystemConfig
+
+N = 1024
+UNIVERSE = 8 * N
+
+
+def patterns():
+    rng = random.Random(2024)
+    return {
+        "dense": list(range(N)),
+        "sorted-sparse": sorted(rng.sample(range(UNIVERSE), N)),
+        "random-sparse": rng.sample(range(UNIVERSE), N),
+    }
+
+
+@pytest.mark.parametrize("pattern", sorted(patterns()))
+@pytest.mark.parametrize("org", ["cli", "pi"])
+def test_gather_ordering(benchmark, org, pattern):
+    indices = patterns()[pattern]
+    config = getattr(MemorySystemConfig, org)()
+    result = benchmark.pedantic(
+        simulate_gather,
+        args=(indices, config),
+        kwargs=dict(fifo_depth=64),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0 < result.percent_of_peak <= 100
+
+
+def test_order_gap_is_large(benchmark):
+    """Dense vs random-sparse differ by >2.5x on PI."""
+
+    def both():
+        config = MemorySystemConfig.pi()
+        dense = simulate_gather(patterns()["dense"], config, fifo_depth=64)
+        scattered = simulate_gather(
+            patterns()["random-sparse"], config, fifo_depth=64
+        )
+        return dense, scattered
+
+    dense, scattered = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert dense.percent_of_peak > 2.5 * scattered.percent_of_peak

@@ -1,0 +1,26 @@
+"""Benchmark regenerating the Section 6 / abstract headline numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.headline import run
+
+
+def test_headline_numbers(benchmark):
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    bounds, copy_smc, improvement, coverage = tables
+
+    # Quoted eight-stream bounds reproduce within half a point.
+    for row in bounds.rows:
+        assert row[2] == pytest.approx(row[1], abs=0.5)
+
+    # copy at 1024 elements on deep FIFOs lands within a point of the
+    # paper's "over 98%".
+    assert copy_smc.rows[0][2] > 97.0
+
+    # Improvement factors bracket the abstract's 1.18x-2.25x within
+    # ten percent at each end.
+    factors = [row[4] for row in improvement.rows]
+    assert min(factors) == pytest.approx(1.18, rel=0.10)
+    assert max(factors) == pytest.approx(2.25, rel=0.10)

@@ -1,0 +1,20 @@
+"""Benchmark regenerating the L2-staging tradeoff tables."""
+
+from __future__ import annotations
+
+from repro.experiments.l2_tradeoff import run
+
+
+def test_l2_tradeoff(benchmark):
+    comparison, thrash = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The FIFO SBU beats L2 staging on every kernel/organization.
+    for row in comparison.rows:
+        assert row[4] > row[2]
+        assert row[4] > row[3]
+
+    # The thrash table collapses once the L2 is small & direct-mapped.
+    ample = thrash.rows[0]
+    worst = thrash.rows[-1]
+    assert worst[1] < ample[1] / 3
+    assert worst[2] > 100 * ample[2]

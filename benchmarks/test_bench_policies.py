@@ -1,0 +1,56 @@
+"""Ablation: MSU scheduling policies (paper Section 6 future work).
+
+The paper's MSU uses simple round-robin and sketches two improvements:
+a scheduler that avoids busy banks (Hong's thesis) and speculative
+precharge/activate across page crossings.  This bench compares all
+three on the configurations where the differences matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import simulate_kernel
+
+POLICIES = ("round-robin", "bank-aware", "speculative-precharge")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policy_on_conflicted_cli(benchmark, policy):
+    """Aligned vectors on shallow-FIFO CLI: the bank-conflict-heavy
+    case where conflict avoidance pays."""
+    result = benchmark.pedantic(
+        simulate_kernel,
+        args=("daxpy", "cli"),
+        kwargs=dict(length=1024, fifo_depth=8, alignment="aligned", policy=policy),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.percent_of_peak > 30
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policy_on_long_vector_pi(benchmark, policy):
+    """PI long vectors: page-crossing overheads are the limiter the
+    speculative policy targets."""
+    result = benchmark.pedantic(
+        simulate_kernel,
+        args=("vaxpy", "pi"),
+        kwargs=dict(length=1024, fifo_depth=64, policy=policy),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.percent_of_peak > 80
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policy_on_strided_pi(benchmark, policy):
+    """Strided PI: frequent page crossings, the Figure 9 regime."""
+    result = benchmark.pedantic(
+        simulate_kernel,
+        args=("vaxpy", "pi"),
+        kwargs=dict(length=1024, fifo_depth=128, stride=32, policy=policy),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.percent_of_attainable > 30

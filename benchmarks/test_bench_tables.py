@@ -1,0 +1,20 @@
+"""Benchmarks regenerating Figures 1 and 2 (the timing tables)."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import figure1_table, figure2_table
+
+
+def test_figure1(benchmark):
+    """Figure 1: DRAM family timing comparison."""
+    table = benchmark(figure1_table)
+    assert len(table.rows) == 5
+    assert table.rows[-1][-1] == 1600  # Direct RDRAM peak, MB/s
+
+
+def test_figure2(benchmark):
+    """Figure 2: Direct RDRAM -50 -800 timing parameters."""
+    table = benchmark(figure2_table)
+    by_name = {row[0]: row[2] for row in table.rows}
+    assert by_name["t_RAC"] == 20
+    assert by_name["t_RC"] == 34

@@ -1,0 +1,16 @@
+"""Benchmarks regenerating the Figure 5/6 command timelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.timelines import three_stream_timeline
+
+
+@pytest.mark.parametrize("org", ["cli", "pi"])
+def test_three_stream_timeline(benchmark, org):
+    """Figures 5/6: the {rd x; rd y; st z} loop's packet timeline."""
+    timeline = benchmark(three_stream_timeline, org)
+    # Successive load activates are t_RR apart, as both figures show.
+    assert timeline.act_spacings[0] == 8
+    assert timeline.table.rows

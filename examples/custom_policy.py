@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Extending the SMC: writing a custom MSU scheduling policy.
+
+The paper's conclusion invites exploration: "More sophisticated access
+ordering mechanisms are certainly possible, and we have begun
+investigating a few."  This example implements one from scratch — a
+writes-last policy that serves every read FIFO before touching write
+FIFOs, minimizing write-to-read bus turnarounds per tour — and races
+it against the built-in policies on the paper's benchmark kernels.
+
+Run: python examples/custom_policy.py
+"""
+
+from typing import Optional
+
+from repro import KERNELS, SchedulingPolicy, simulate_kernel
+from repro.core.sbu import StreamBufferUnit
+from repro.rdram.device import RdramDevice
+
+
+class WritesLastPolicy(SchedulingPolicy):
+    """Serve serviceable read FIFOs round-robin; drain writes only
+    when no read FIFO can accept more data."""
+
+    name = "writes-last"
+
+    def choose(
+        self,
+        cycle: int,
+        sbu: StreamBufferUnit,
+        current: int,
+        device: RdramDevice,
+    ) -> Optional[int]:
+        count = len(sbu)
+        fallback = None
+        for offset in range(current, current + count):
+            index = offset % count
+            fifo = sbu[index]
+            if not fifo.serviceable:
+                continue
+            if fifo.is_read:
+                return index
+            if fallback is None:
+                fallback = index
+        return fallback
+
+
+def main() -> None:
+    policies = ("round-robin", "bank-aware", WritesLastPolicy())
+    print(f"{'kernel':8s} {'org':4s}" + "".join(
+        f" {name:>14s}" for name in
+        ("round-robin", "bank-aware", "writes-last")
+    ))
+    for kernel_name in ("copy", "daxpy", "hydro", "vaxpy"):
+        for org in ("cli", "pi"):
+            row = f"{kernel_name:8s} {org:4s}"
+            for policy in policies:
+                result = simulate_kernel(
+                    KERNELS[kernel_name], org, length=1024, fifo_depth=64,
+                    policy=policy,
+                )
+                row += f" {result.percent_of_peak:13.1f}%"
+            print(row)
+    print("\nAll three deliver the same data (the engine verifies every")
+    print("element moves exactly once); they differ only in ordering —")
+    print("which is the paper's whole point.")
+
+
+if __name__ == "__main__":
+    main()

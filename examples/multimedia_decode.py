@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Multimedia scenario: sustained bandwidth for a video pipeline.
+
+The paper's introduction motivates streaming hardware with multi-media
+codecs: large frame buffers visited once per pass, no temporal
+locality.  This example models two inner loops of a decode pipeline —
+a frame copy (motion-compensation reference fetch) and a saturating
+blend written as a triad — on a single Direct RDRAM, and converts the
+delivered bandwidth into the video resolution the memory system could
+sustain at 30 frames per second.
+
+Run: python examples/multimedia_decode.py
+"""
+
+from repro import KERNELS, simulate_kernel
+
+FPS = 30
+BYTES_PER_PIXEL = 2  # 16-bit YUV
+
+#: (name, kernel, passes over each frame the stage makes)
+STAGES = (
+    ("reference fetch (copy)", "copy", 2),
+    ("blend/composite (triad)", "triad", 3),
+)
+
+
+def main() -> None:
+    print("Sustained-bandwidth budget for a 30 fps decode pipeline on")
+    print("one Direct RDRAM (1.6 GB/s peak), CLI vs PI, with an SMC:\n")
+    for stage_name, kernel_name, passes in STAGES:
+        kernel = KERNELS[kernel_name]
+        print(f"stage: {stage_name}  [{kernel.expression}]")
+        for org in ("cli", "pi"):
+            result = simulate_kernel(
+                kernel, org, length=1024, fifo_depth=128
+            )
+            bandwidth = result.effective_bandwidth_bytes_per_sec
+            pixels_per_frame = bandwidth / (FPS * passes * BYTES_PER_PIXEL)
+            # Report as square-ish 16:9 resolution.
+            height = int((pixels_per_frame * 9 / 16) ** 0.5)
+            width = height * 16 // 9
+            print(f"  {org.upper():3s}: {result.percent_of_peak:5.1f}% of peak "
+                  f"-> {bandwidth / 1e9:.2f} GB/s "
+                  f"-> sustains ~{width}x{height} @ {FPS} fps")
+        print()
+    print("The SMC keeps either organization near peak; without it the")
+    print("natural-order limit (44-80% depending on the loop) cuts the")
+    print("sustainable resolution accordingly.")
+
+
+if __name__ == "__main__":
+    main()

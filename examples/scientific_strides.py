@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Scientific-computing scenario: strided vector access.
+
+Matrix codes walk columns of row-major arrays at non-unit stride —
+the regime where Figures 8 and 9 show DRAM bandwidth collapsing.  This
+example runs vaxpy (the inner loop of matrix-vector multiplication by
+diagonals) across strides, comparing the SMC against the natural-order
+cacheline limit on both organizations, and prints where each approach
+stands as stride grows.
+
+Run: python examples/scientific_strides.py
+"""
+
+from repro import KERNELS, MemorySystemConfig, natural_order_bound, simulate_kernel
+
+STRIDES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def main() -> None:
+    kernel = KERNELS["vaxpy"]
+    print(f"kernel: {kernel.name}  ({kernel.expression})")
+    print("percent of PEAK bandwidth (1.6 GB/s); attainable is 50% of")
+    print("peak for strides >= 2 (half of every DATA packet is waste)\n")
+    header = f"{'stride':>6s}"
+    for org in ("cli", "pi"):
+        header += f"  {org.upper() + ' SMC':>9s}  {org.upper() + ' cache':>9s}"
+    print(header)
+    for stride in STRIDES:
+        row = f"{stride:6d}"
+        for org in ("cli", "pi"):
+            config = getattr(MemorySystemConfig, org)()
+            smc = simulate_kernel(
+                kernel, config, length=1024, fifo_depth=128, stride=stride
+            )
+            cache = natural_order_bound(
+                config,
+                kernel.num_read_streams,
+                kernel.num_write_streams,
+                stride=stride,
+            )
+            row += f"  {smc.percent_of_peak:9.1f}  {cache.percent_of_peak:9.1f}"
+        print(row)
+    print("\nTakeaways (matching the paper's Figure 9 discussion):")
+    print(" * beyond the 4-word cacheline, natural-order fills waste 3/4")
+    print("   of every line they move;")
+    print(" * the SMC only fetches packets that contain stream data, so")
+    print("   it holds on to most of the attainable bandwidth;")
+    print(" * CLI-SMC dips at strides that are multiples of 16, where the")
+    print("   interleave maps every access to one or two banks.")
+
+
+if __name__ == "__main__":
+    main()

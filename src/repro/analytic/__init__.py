@@ -1,0 +1,22 @@
+"""Analytic performance models from Section 5 of the paper."""
+
+from repro.analytic.cache import (
+    CacheBound,
+    natural_order_bound,
+    single_stream_fill_bound,
+    useful_words_per_line,
+)
+from repro.analytic.generations import GENERATIONS, RdramGeneration, generations_table
+from repro.analytic.smc import SmcBound, smc_bound
+
+__all__ = [
+    "CacheBound",
+    "natural_order_bound",
+    "single_stream_fill_bound",
+    "useful_words_per_line",
+    "GENERATIONS",
+    "RdramGeneration",
+    "generations_table",
+    "SmcBound",
+    "smc_bound",
+]

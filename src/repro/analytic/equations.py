@@ -1,0 +1,218 @@
+"""Verbatim transcriptions of the paper's Section 5 equations.
+
+Each function is named after its equation number.  These are kept
+exactly as printed so tests and documentation can refer to the paper
+line-by-line; note that the printed multi-stream open-page pipeline
+equation (5.9) is asymptotically degenerate (it predicts a 100 % limit
+for any stream count, contradicting the text's "less than 76 % for PI
+systems" for the four-stream kernels), and the printed equation 5.8
+omits the t_RP term that its surrounding prose includes.  The
+:mod:`repro.analytic.cache` module therefore derives a reconciled
+model (documented there) that reproduces the paper's quoted numbers;
+this module preserves the printed forms.
+
+Symbols (Section 5): w_p elements per DATA packet, sigma the vector
+stride in 64-bit words, L_c words per cacheline, L_P words per RDRAM
+page, L_s the stream length, s = s_r + s_w the stream count.
+"""
+
+from __future__ import annotations
+
+from repro.rdram.timing import RdramTiming
+
+
+def eq_5_1_percent_peak(t_avg: float, w_p: int, t_pack: int) -> float:
+    """Equation 5.1: % peak bandwidth = 100 / (T * w_p / t_PACK)."""
+    if t_avg <= 0:
+        raise ValueError("average access time must be positive")
+    return 100.0 / (t_avg * w_p / t_pack)
+
+
+def eq_5_2_t_lcc(timing: RdramTiming, l_c: int, w_p: int) -> int:
+    """Equation 5.2: closed-page cacheline access time.
+
+    T_LCC = t_RAC + t_PACK * (L_c / w_p - 1).
+    """
+    return timing.t_rac + timing.t_pack * (l_c // w_p - 1)
+
+
+def eq_5_3_single_stream_closed(
+    timing: RdramTiming, l_c: int, w_p: int, sigma: int
+) -> float:
+    """Equation 5.3: average per-word latency, single stream, closed page.
+
+    T = T_LCC / (L_c / sigma) for strides up to the cacheline size;
+    beyond the cacheline each line yields a single useful word.
+    """
+    useful_words = l_c / sigma if sigma <= l_c else 1.0
+    return eq_5_2_t_lcc(timing, l_c, w_p) / useful_words
+
+
+def eq_5_4_t_pipe_closed(
+    timing: RdramTiming, l_c: int, w_p: int, s: int
+) -> int:
+    """Equation 5.4: pipelined group latency, closed page.
+
+    T_pipe = t_RAC + max(t_RR, (L_c / w_p) * t_PACK) * (s - 1).
+    """
+    per_stream = max(timing.t_rr, (l_c // w_p) * timing.t_pack)
+    return timing.t_rac + per_stream * (s - 1)
+
+
+def eq_5_5_t_last_closed(
+    timing: RdramTiming, l_c: int, w_p: int, s: int
+) -> int:
+    """Equation 5.5: final-group latency, closed page.
+
+    T_last = t_RR * (s - 2) + t_RAC + T_LCC.
+    """
+    return (
+        timing.t_rr * max(s - 2, 0)
+        + timing.t_rac
+        + eq_5_2_t_lcc(timing, l_c, w_p)
+    )
+
+
+def eq_5_6_cycles_closed(
+    timing: RdramTiming, l_c: int, w_p: int, s: int, l_s: int
+) -> int:
+    """Equation 5.6: total cycles for the computation, closed page.
+
+    cycles = (L_s / L_c - 1) * T_pipe + T_last.
+    """
+    groups = l_s // l_c
+    return (groups - 1) * eq_5_4_t_pipe_closed(
+        timing, l_c, w_p, s
+    ) + eq_5_5_t_last_closed(timing, l_c, w_p, s)
+
+
+def eq_5_7_t_lco(timing: RdramTiming, l_c: int, w_p: int) -> int:
+    """Equation 5.7: open-page cacheline access time.
+
+    T_LCO = t_CAC + t_PACK * (L_c / w_p - 1).
+    """
+    return timing.t_cac + timing.t_pack * (l_c // w_p - 1)
+
+
+def eq_5_8_single_stream_open(
+    timing: RdramTiming,
+    l_c: int,
+    l_p: int,
+    w_p: int,
+    sigma: int,
+    include_t_rp: bool = True,
+) -> float:
+    """Equation 5.8: average per-word latency, single stream, open page.
+
+    T = (t_RP + T_LCC + T_LCO * (lines - 1)) / (L_p / sigma), where
+    *lines* is the number of cachelines the stream touches per page.
+    The printed equation omits t_RP but the surrounding prose includes
+    it ("This is the time to precharge the page (t_RP), plus ...");
+    ``include_t_rp`` selects between the two readings.
+    """
+    if sigma <= l_c:
+        lines = l_p // l_c
+    else:
+        lines = max(1, l_p // sigma)
+    useful_words = l_p / sigma
+    overhead = timing.t_rp if include_t_rp else 0
+    total = (
+        overhead
+        + eq_5_2_t_lcc(timing, l_c, w_p)
+        + eq_5_7_t_lco(timing, l_c, w_p) * (lines - 1)
+    )
+    return total / useful_words
+
+
+def eq_5_9_t_pipe_open(
+    timing: RdramTiming, l_c: int, w_p: int, s: int
+) -> int:
+    """Equation 5.9: pipelined group latency, open page (as printed).
+
+    T_pipe = T_LCO + ((L_c / w_p) * (s - 2) + 1) * t_PACK.
+
+    Note: for every s >= 2 this equals (L_c / w_p) * t_PACK * s, i.e. a
+    fully saturated data bus, so as printed it bounds nothing — see the
+    module docstring.
+    """
+    return eq_5_7_t_lco(timing, l_c, w_p) + (
+        (l_c // w_p) * (s - 2) + 1
+    ) * timing.t_pack
+
+
+def eq_5_10_t_init_open(
+    timing: RdramTiming, l_c: int, w_p: int, s: int
+) -> int:
+    """Equation 5.10: first-group latency, open page.
+
+    T_init = 2*t_RP + t_RAC + T_LCC + (t_RP + t_RR) * (s - 2).
+    """
+    return (
+        2 * timing.t_rp
+        + timing.t_rac
+        + eq_5_2_t_lcc(timing, l_c, w_p)
+        + (timing.t_rp + timing.t_rr) * max(s - 2, 0)
+    )
+
+
+def eq_5_11_cycles_open(
+    timing: RdramTiming, l_c: int, w_p: int, s: int, l_s: int
+) -> int:
+    """Equation 5.11: total cycles for the computation, open page.
+
+    cycles = T_init + (L_s / L_c - 1) * T_pipe.
+    """
+    groups = l_s // l_c
+    return eq_5_10_t_init_open(timing, l_c, w_p, s) + (
+        groups - 1
+    ) * eq_5_9_t_pipe_open(timing, l_c, w_p, s)
+
+
+def eq_5_16_startup_delay_cli(
+    timing: RdramTiming, s_r: int, fifo_depth: int, w_p: int
+) -> float:
+    """Equation 5.16: SMC startup delay, CLI.
+
+    Delta_1 = (s_r - 1) * f * t_PACK / w_p + t_RAC.  The copy
+    discussion in Section 6 ("the startup delay here results entirely
+    from ... t_RAC ... since there is only one stream being read")
+    fixes the parenthesization: the t_RAC term survives at s_r = 1.
+    """
+    return (s_r - 1) * fifo_depth * timing.t_pack / w_p + timing.t_rac
+
+
+def eq_5_17_startup_delay_pi(
+    timing: RdramTiming, s_r: int, fifo_depth: int, w_p: int
+) -> float:
+    """Equation 5.17: SMC startup delay, PI (adds the first precharge).
+
+    Delta_1 = (s_r - 1) * f * t_PACK / w_p + t_RAC + t_RP.
+    """
+    return (
+        eq_5_16_startup_delay_cli(timing, s_r, fifo_depth, w_p) + timing.t_rp
+    )
+
+
+def eq_5_18_turnaround_delay(
+    timing: RdramTiming, l_s: int, s: int, fifo_depth: int
+) -> float:
+    """Equation 5.18: total bus-turnaround delay over the computation.
+
+    Delta_2 = t_RW * L_s * (s - 1) / (f * s), from F = f*s/(s-1)
+    elements fetched per FIFO service and one turnaround per
+    round-robin tour.
+    """
+    if s < 2:
+        return 0.0
+    return timing.t_rw * l_s * (s - 1) / (fifo_depth * s)
+
+
+def eq_5_15_percent_peak(
+    timing: RdramTiming, l_s: int, s: int, w_p: int, delta: float
+) -> float:
+    """Equation 5.15: SMC % peak bandwidth under an extra delay Delta.
+
+    %peak = L_s * (t_PACK / w_p) * s / (Delta + L_s * (t_PACK/w_p) * s).
+    """
+    base = l_s * (timing.t_pack / w_p) * s
+    return 100.0 * base / (delta + base)

@@ -1,0 +1,11 @@
+"""Cache-realistic baseline: real misses, conflicts, and writebacks."""
+
+from repro.cache.controller import CachedNaturalOrderController
+from repro.cache.model import AccessOutcome, CacheConfig, CacheModel
+
+__all__ = [
+    "CachedNaturalOrderController",
+    "AccessOutcome",
+    "CacheConfig",
+    "CacheModel",
+]

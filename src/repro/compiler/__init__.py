@@ -1,0 +1,18 @@
+"""Compiler front end: loop source -> stream descriptors -> SMC run."""
+
+from repro.compiler.frontend import (
+    CANDIDATE_DEPTHS,
+    choose_fifo_depth,
+    compile_loop,
+    simulate_loop,
+)
+from repro.compiler.stream_detect import ArrayReference, detect_streams
+
+__all__ = [
+    "CANDIDATE_DEPTHS",
+    "choose_fifo_depth",
+    "compile_loop",
+    "simulate_loop",
+    "ArrayReference",
+    "detect_streams",
+]

@@ -1,0 +1,284 @@
+"""Compiler-side stream detection.
+
+Section 3: "The compiler detects the presence of streams (as in
+[Benitez & Davidson's access/execute work]), and generates code to
+transmit information about those streams (base address, stride, number
+of elements, and whether the stream is being read or written) to the
+hardware at runtime."
+
+This module is that detector, for inner loops written as plain Python
+assignment syntax over subscripted arrays:
+
+    y[i] = a * x[i] + y[i]                      # daxpy
+    x[i] = q + y[i] * (r*zx[i+10] + t*zx[i+11]) # hydro
+    x[i], y[i] = y[i], x[i]                     # swap (tuple form)
+
+Rules, matching the SMC's programming model:
+
+* the loop index appears only inside subscripts, and every subscript
+  is an affine function ``s*i + c`` of it with s >= 1 and c >= 0;
+* a subscripted array reference is a stream: reads on the right-hand
+  side (in source order), writes on the left;
+* bare names are scalars (held in registers — no memory traffic);
+* an array that is both read and written is a read-modify-write
+  vector: its read- and write-streams share the vector, exactly the
+  paper's footnote ("a read-modify-write vector constitutes two
+  streams");
+* augmented assignment (``y[i] += x[i]``) is sugar for the
+  read-modify-write form;
+* indirect subscripts (``x[idx[i]]``), non-affine subscripts
+  (``x[i*i]``), and negative strides/offsets are rejected with
+  :class:`~repro.errors.CompileError` — the SMC's descriptor format
+  cannot express them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import CompileError
+from repro.cpu.streams import Direction, StreamSpec
+
+
+@dataclass(frozen=True)
+class ArrayReference:
+    """One subscripted array reference found in the loop body.
+
+    Attributes:
+        array: Array (vector) name.
+        stride_factor: Coefficient s of the affine subscript s*i + c.
+        offset: Constant c of the affine subscript.
+        direction: READ or WRITE.
+        order: Source position, for natural access ordering.
+    """
+
+    array: str
+    stride_factor: int
+    offset: int
+    direction: Direction
+    order: Tuple[int, int]
+
+
+def detect_streams(source: str, index: str = "i") -> List[StreamSpec]:
+    """Extract the stream declarations from a loop body.
+
+    Args:
+        source: One or more assignment statements (newline- or
+            semicolon-separated) forming the loop body.
+        index: Name of the loop induction variable.
+
+    Returns:
+        Stream specs in natural access order: each statement's reads
+        in source order, then its writes.
+
+    Raises:
+        CompileError: If the body cannot be expressed as streams.
+    """
+    normalized = "\n".join(
+        line.strip() for line in source.strip().splitlines() if line.strip()
+    )
+    try:
+        module = ast.parse(normalized)
+    except SyntaxError as error:
+        raise CompileError(f"loop body does not parse: {error}") from None
+    references: List[ArrayReference] = []
+    for statement in module.body:
+        references.extend(_statement_references(statement, index))
+    if not references:
+        raise CompileError("loop body touches no arrays")
+    return _references_to_specs(references)
+
+
+def _statement_references(
+    statement: ast.stmt, index: str
+) -> List[ArrayReference]:
+    if isinstance(statement, ast.Assign):
+        if len(statement.targets) != 1:
+            raise CompileError("chained assignment is not supported")
+        target = statement.targets[0]
+        if isinstance(target, ast.Tuple):
+            if not isinstance(statement.value, ast.Tuple) or len(
+                target.elts
+            ) != len(statement.value.elts):
+                raise CompileError(
+                    "tuple assignment needs matching tuple of values"
+                )
+            value_nodes = list(statement.value.elts)
+            target_nodes = list(target.elts)
+        else:
+            value_nodes = [statement.value]
+            target_nodes = [target]
+    elif isinstance(statement, ast.AugAssign):
+        # y[i] += x[i]  ==  y[i] = y[i] + x[i]: the target is both a
+        # read and a write.
+        value_nodes = [statement.value, statement.target]
+        target_nodes = [statement.target]
+    else:
+        raise CompileError(
+            f"only assignments are supported, got {type(statement).__name__}"
+        )
+
+    references: List[ArrayReference] = []
+    for node in value_nodes:
+        references.extend(_collect(node, index, Direction.READ))
+    for node in target_nodes:
+        if isinstance(node, ast.Name):
+            continue  # scalar accumulator (e.g. a dot product)
+        if not isinstance(node, ast.Subscript):
+            raise CompileError(
+                "assignment targets must be array elements or scalars"
+            )
+        references.extend(_collect(node, index, Direction.WRITE))
+    return references
+
+
+def _collect(
+    node: ast.AST, index: str, direction: Direction
+) -> List[ArrayReference]:
+    """All array references under ``node``, in source order."""
+    references = []
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Subscript):
+            continue
+        if not isinstance(child.value, ast.Name):
+            raise CompileError(
+                "only simple arrays may be subscripted (no nested or "
+                "attribute arrays)"
+            )
+        _reject_indirect_subscripts(child.slice)
+        stride_factor, offset = _affine(child.slice, index)
+        references.append(
+            ArrayReference(
+                array=child.value.id,
+                stride_factor=stride_factor,
+                offset=offset,
+                direction=direction,
+                order=(child.lineno, child.col_offset),
+            )
+        )
+    # The loop index must not be used as a bare value.
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Name)
+            and child.id == index
+            and not _inside_subscript(node, child)
+        ):
+            raise CompileError(
+                f"loop index {index!r} may only appear inside subscripts"
+            )
+    references.sort(key=lambda ref: ref.order)
+    return references
+
+
+def _inside_subscript(root: ast.AST, target: ast.Name) -> bool:
+    """True if ``target`` sits under some Subscript slice of ``root``."""
+    for child in ast.walk(root):
+        if isinstance(child, ast.Subscript):
+            for grandchild in ast.walk(child.slice):
+                if grandchild is target:
+                    return True
+    return False
+
+
+def _reject_indirect_subscripts(node: ast.AST) -> None:
+    """Nested subscripts inside a slice would be indirect addressing."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Subscript):
+            raise CompileError(
+                "indirect (gather/scatter) subscripts are not streams; "
+                "the paper points to Impulse-style controllers for those"
+            )
+
+
+def _affine(node: ast.AST, index: str) -> Tuple[int, int]:
+    """Evaluate a subscript as s*i + c.
+
+    Returns:
+        (s, c) with s >= 1 and c >= 0.
+
+    Raises:
+        CompileError: For anything non-affine or out of range.
+    """
+    coefficient, constant = _linear(node, index)
+    if coefficient < 1:
+        raise CompileError(
+            f"subscript must advance with the loop (coefficient "
+            f"{coefficient})"
+        )
+    if constant < 0:
+        raise CompileError(
+            f"negative subscript offset {constant} is not supported"
+        )
+    return coefficient, constant
+
+
+def _linear(node: ast.AST, index: str) -> Tuple[int, int]:
+    if isinstance(node, ast.Name):
+        if node.id == index:
+            return 1, 0
+        raise CompileError(
+            f"subscript uses unknown name {node.id!r}; only the loop "
+            f"index {index!r} and integer constants are allowed"
+        )
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, int):
+            return 0, node.value
+        raise CompileError(f"non-integer subscript constant {node.value!r}")
+    if isinstance(node, ast.BinOp):
+        left = _linear(node.left, index)
+        right = _linear(node.right, index)
+        if isinstance(node.op, ast.Add):
+            return left[0] + right[0], left[1] + right[1]
+        if isinstance(node.op, ast.Sub):
+            return left[0] - right[0], left[1] - right[1]
+        if isinstance(node.op, ast.Mult):
+            if left[0] and right[0]:
+                raise CompileError("subscript is not linear in the index")
+            if left[0]:
+                return left[0] * right[1], left[1] * right[1]
+            return right[0] * left[1], right[1] * left[1]
+        raise CompileError(
+            f"unsupported subscript operator {type(node.op).__name__}"
+        )
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        coefficient, constant = _linear(node.operand, index)
+        return -coefficient, -constant
+    raise CompileError(
+        f"unsupported subscript expression {type(node).__name__}"
+    )
+
+
+def _references_to_specs(
+    references: List[ArrayReference],
+) -> List[StreamSpec]:
+    """Turn references into uniquely named specs in access order."""
+    directions: Dict[str, set] = {}
+    for ref in references:
+        directions.setdefault(ref.array, set()).add(ref.direction)
+    specs: List[StreamSpec] = []
+    seen = set()
+    for ref in references:
+        rmw = len(directions[ref.array]) == 2
+        suffix = ""
+        if rmw:
+            suffix = ".rd" if ref.direction is Direction.READ else ".wr"
+        name = f"{ref.array}{suffix}"
+        if ref.offset or ref.stride_factor != 1:
+            name = f"{name}@{ref.stride_factor}i+{ref.offset}"
+        if name in seen:
+            # The same element read twice costs one stream; common
+            # subexpressions collapse.
+            continue
+        seen.add(name)
+        specs.append(
+            StreamSpec(
+                name=name,
+                vector=ref.array,
+                direction=ref.direction,
+                offset=ref.offset,
+                stride_factor=ref.stride_factor,
+            )
+        )
+    return specs

@@ -1,0 +1,262 @@
+"""Stream FIFOs and the per-stream memory access plan.
+
+Each stream is mapped to exactly one FIFO (Section 3).  From the
+processor's side the FIFO head is a memory-mapped register: reads pop
+elements that the MSU prefetched, writes push elements the MSU will
+later drain to memory.  From the memory side, the MSU works through
+the stream's *access units* — one unit per DATA packet the stream
+touches — precomputed from the stream descriptor and the address map.
+
+Two 64-bit elements share a DATA packet only at stride one (byte
+stride 8); at any larger stride every element occupies its own packet,
+which is why non-unit strides can exploit at most half of the Direct
+RDRAM's bandwidth (Section 6, Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SchedulingError, StreamError
+from repro.cpu.streams import Direction, StreamDescriptor
+from repro.memsys.address import AddressMap, Location
+from repro.memsys.config import PagePolicy
+from repro.rdram.timing import DATA_PACKET_BYTES
+
+
+@dataclass(frozen=True)
+class AccessUnit:
+    """One DATA packet's worth of stream traffic.
+
+    Attributes:
+        location: Bank/row/column the packet lives at.
+        elements: Useful 64-bit elements the packet carries (2 at
+            stride one, otherwise 1).
+        precharge_after: Under a closed-page policy, True on the last
+            packet of each consecutive same-row run, carrying the
+            precharge flag on the COL packet.
+    """
+
+    location: Location
+    elements: int
+    precharge_after: bool = False
+
+
+def build_access_units(
+    descriptor: StreamDescriptor,
+    address_map: AddressMap,
+    page_policy: PagePolicy,
+) -> List[AccessUnit]:
+    """Compute the ordered DATA-packet plan for one stream.
+
+    Consecutive elements landing in the same packet are merged into a
+    single unit.  Under a closed-page policy the last unit of every
+    consecutive (bank, row) run is flagged to carry a precharge.
+
+    Args:
+        descriptor: The placed stream.
+        address_map: CLI or PI address decomposition.
+        page_policy: Decides whether precharge flags are planted.
+
+    Returns:
+        Units in stream-element order.
+    """
+    units: List[AccessUnit] = []
+    last_location: Optional[Location] = None
+    for index in range(descriptor.length):
+        address = descriptor.element_address(index)
+        packet_address = address - address % DATA_PACKET_BYTES
+        location = address_map.decompose(packet_address)
+        if location == last_location:
+            previous = units[-1]
+            units[-1] = AccessUnit(
+                location=location, elements=previous.elements + 1
+            )
+        else:
+            units.append(AccessUnit(location=location, elements=1))
+            last_location = location
+    if page_policy is PagePolicy.CLOSED:
+        units = _plant_precharge_flags(units)
+    return units
+
+
+def _plant_precharge_flags(units: List[AccessUnit]) -> List[AccessUnit]:
+    """Flag the last unit of each same-(bank, row) run for precharge."""
+    flagged: List[AccessUnit] = []
+    for index, unit in enumerate(units):
+        is_last_of_run = (
+            index + 1 == len(units)
+            or (
+                units[index + 1].location.bank,
+                units[index + 1].location.row,
+            )
+            != (unit.location.bank, unit.location.row)
+        )
+        flagged.append(
+            AccessUnit(
+                location=unit.location,
+                elements=unit.elements,
+                precharge_after=is_last_of_run,
+            )
+        )
+    return flagged
+
+
+class StreamFifo:
+    """One FIFO of the Stream Buffer Unit.
+
+    For a read stream the MSU fills the FIFO from memory and the CPU
+    pops the head; *in-flight* elements (requested but not yet arrived)
+    count against the depth so the MSU never over-fetches.  For a write
+    stream the CPU pushes elements and the MSU drains whole packets.
+
+    Args:
+        descriptor: The placed stream this FIFO buffers.
+        depth: FIFO capacity in 64-bit elements (the paper's f).
+        units: The stream's access plan from :func:`build_access_units`.
+    """
+
+    def __init__(
+        self,
+        descriptor: StreamDescriptor,
+        depth: int,
+        units: List[AccessUnit],
+    ) -> None:
+        max_unit = max(unit.elements for unit in units)
+        if depth < max_unit:
+            raise StreamError(
+                f"stream {descriptor.name}: FIFO depth {depth} smaller than "
+                f"a {max_unit}-element DATA packet"
+            )
+        self.descriptor = descriptor
+        self.depth = depth
+        self.units = units
+        self.occupancy = 0
+        self.inflight = 0
+        self._cursor = 0
+        self.elements_consumed = 0
+        self.elements_produced = 0
+
+    # ------------------------------------------------------------------
+    # shared
+
+    @property
+    def direction(self) -> Direction:
+        return self.descriptor.direction
+
+    @property
+    def is_read(self) -> bool:
+        return self.descriptor.direction is Direction.READ
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every access unit has been issued to memory."""
+        return self._cursor >= len(self.units)
+
+    def next_unit(self) -> AccessUnit:
+        """The next access unit to issue.
+
+        Raises:
+            SchedulingError: If the stream is exhausted.
+        """
+        if self.exhausted:
+            raise SchedulingError(
+                f"stream {self.descriptor.name}: no units left to issue"
+            )
+        return self.units[self._cursor]
+
+    def upcoming_units(self, count: int) -> List[AccessUnit]:
+        """The next ``count`` unissued units (fewer near stream end).
+
+        Used by look-ahead scheduling policies such as speculative
+        precharge.
+        """
+        return self.units[self._cursor : self._cursor + count]
+
+    @property
+    def serviceable(self) -> bool:
+        """True if the MSU could issue this FIFO's next access now."""
+        if self.exhausted:
+            return False
+        unit = self.units[self._cursor]
+        if self.is_read:
+            return self.occupancy + self.inflight + unit.elements <= self.depth
+        return self.occupancy >= unit.elements
+
+    @property
+    def fully_drained(self) -> bool:
+        """True once nothing remains buffered or in flight."""
+        if self.is_read:
+            return self.exhausted and self.inflight == 0 and self.occupancy == 0
+        return self.exhausted
+
+    # ------------------------------------------------------------------
+    # memory (MSU) side
+
+    def note_issue(self) -> AccessUnit:
+        """Commit the next unit: reads gain in-flight elements, writes
+        surrender buffered elements to the device's write buffer.
+
+        Raises:
+            SchedulingError: If the FIFO is not serviceable.
+        """
+        if not self.serviceable:
+            raise SchedulingError(
+                f"stream {self.descriptor.name}: issue on unserviceable FIFO"
+            )
+        unit = self.units[self._cursor]
+        self._cursor += 1
+        if self.is_read:
+            self.inflight += unit.elements
+        else:
+            self.occupancy -= unit.elements
+        return unit
+
+    def note_arrival(self, elements: int) -> None:
+        """Read data returned from memory lands in the FIFO."""
+        if not self.is_read:
+            raise SchedulingError(
+                f"stream {self.descriptor.name}: arrival on a write FIFO"
+            )
+        if elements > self.inflight:
+            raise SchedulingError(
+                f"stream {self.descriptor.name}: {elements} arrivals but only "
+                f"{self.inflight} in flight"
+            )
+        self.inflight -= elements
+        self.occupancy += elements
+        if self.occupancy > self.depth:
+            raise SchedulingError(
+                f"stream {self.descriptor.name}: FIFO overflow "
+                f"({self.occupancy}/{self.depth})"
+            )
+
+    # ------------------------------------------------------------------
+    # processor side
+
+    def cpu_can_pop(self) -> bool:
+        """True if the head register holds a valid element."""
+        return self.is_read and self.occupancy > 0
+
+    def cpu_pop(self) -> None:
+        """Dequeue the head element (a processor load retires)."""
+        if not self.cpu_can_pop():
+            raise SchedulingError(
+                f"stream {self.descriptor.name}: pop from empty FIFO"
+            )
+        self.occupancy -= 1
+        self.elements_consumed += 1
+
+    def cpu_can_push(self) -> bool:
+        """True if a processor store could enqueue an element."""
+        return not self.is_read and self.occupancy < self.depth
+
+    def cpu_push(self) -> None:
+        """Enqueue one element (a processor store retires)."""
+        if not self.cpu_can_push():
+            raise SchedulingError(
+                f"stream {self.descriptor.name}: push to full FIFO"
+            )
+        self.occupancy += 1
+        self.elements_produced += 1

@@ -1,0 +1,328 @@
+"""Dynamic access ordering into and out of an L2 cache.
+
+The paper's conclusion sketches an alternative to the FIFO-based SBU:
+"We are investigating the performance tradeoffs of using dynamic
+access ordering to stream data into and out of the L2 cache, which
+simplifies the coherence mechanism, but which opens up the
+possibility for cache conflicts to evict needed data prematurely."
+
+This module builds that design point.  The stream controller
+prefetches each read-stream's cachelines into a real L2 cache model
+(instead of private FIFOs) with a bounded per-stream prefetch window;
+the processor consumes elements from the L2 in natural order; store
+streams write-validate lines in the L2 and dirty evictions stream
+back to memory.  All memory traffic goes through the same RDRAM
+device model and ordering rules as the rest of the library.
+
+The failure mode the paper predicts is measurable here: when streams
+alias in the L2's sets (low associativity, aligned placement, or deep
+prefetch windows), prefetched lines are evicted before the processor
+reaches them and must be *refetched* — the `refetches` statistic —
+and effective bandwidth falls below the FIFO-based SMC's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.cache.model import CacheConfig, CacheModel
+from repro.cpu.kernels import Kernel
+from repro.cpu.processor import MATCHED_ACCESS_INTERVAL
+from repro.cpu.streams import Alignment, Direction, place_streams
+from repro.memsys.address import AddressMap
+from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig, PagePolicy
+from repro.rdram.channel import make_memory
+from repro.rdram.packets import BusDirection
+from repro.sim.results import SimulationResult
+
+#: Concurrent line fetches in flight, matching the device pipeline.
+MAX_OUTSTANDING_LINES = 4
+
+
+@dataclass
+class _StreamState:
+    """Prefetch bookkeeping for one stream."""
+
+    name: str
+    direction: Direction
+    lines: List[int]           # unique line addresses, in element order
+    element_lines: List[int]   # line address of each element
+    element_line_index: List[int]  # index into `lines` per element
+    prefetch_cursor: int = 0
+
+
+class L2StreamingController:
+    """SMC variant that stages stream data in an L2 cache.
+
+    Args:
+        config: Memory organization.
+        l2_config: L2 geometry; line size must match the memory
+            system's cacheline.
+        prefetch_window: Lines the controller may run ahead per
+            read-stream (the FIFO-depth analogue).
+        record_trace: Record device packets for auditing.
+    """
+
+    def __init__(
+        self,
+        config: MemorySystemConfig,
+        l2_config: Optional[CacheConfig] = None,
+        prefetch_window: int = 8,
+        record_trace: bool = False,
+    ) -> None:
+        if prefetch_window < 1:
+            raise ConfigurationError("prefetch window must be at least 1")
+        self.config = config
+        self.l2_config = l2_config or CacheConfig(
+            size_bytes=64 * 1024,
+            associativity=2,
+            line_bytes=config.cacheline_bytes,
+        )
+        if self.l2_config.line_bytes != config.cacheline_bytes:
+            raise ConfigurationError(
+                "L2 line size must match the memory system cacheline"
+            )
+        self.prefetch_window = prefetch_window
+        self.device = make_memory(
+            timing=config.timing,
+            geometry=config.geometry,
+            record_trace=record_trace,
+        )
+        self.address_map = AddressMap(config)
+        self.l2: Optional[CacheModel] = None
+        self.refetches = 0
+        self.writebacks_streamed = 0
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        kernel: Kernel,
+        length: int,
+        stride: int = 1,
+        alignment: Alignment = Alignment.STAGGERED,
+        max_cycles: Optional[int] = None,
+    ) -> SimulationResult:
+        """Execute one kernel, streaming through the L2.
+
+        Returns:
+            The result; ``fifo_depth`` reports the prefetch window and
+            ``bank_conflicts`` the number of refetches forced by
+            premature evictions.
+        """
+        self.device.reset()
+        self.l2 = CacheModel(self.l2_config)
+        self.refetches = 0
+        self.writebacks_streamed = 0
+        descriptors = place_streams(
+            kernel.streams,
+            self.config,
+            length=length,
+            stride=stride,
+            alignment=alignment,
+        )
+        line_bytes = self.config.cacheline_bytes
+        streams = []
+        for descriptor in descriptors:
+            element_lines = [
+                descriptor.element_address(i) // line_bytes * line_bytes
+                for i in range(length)
+            ]
+            unique: List[int] = []
+            line_index: List[int] = []
+            for line in element_lines:
+                if not unique or unique[-1] != line:
+                    unique.append(line)
+                line_index.append(len(unique) - 1)
+            streams.append(
+                _StreamState(
+                    name=descriptor.name,
+                    direction=descriptor.direction,
+                    lines=unique,
+                    element_lines=element_lines,
+                    element_line_index=line_index,
+                )
+            )
+
+        closed_page = self.config.page_policy is PagePolicy.CLOSED
+        inflight: Dict[int, int] = {}  # line address -> arrival cycle
+        present: Set[int] = set()      # lines resident in L2
+        pending_writebacks: List[int] = []
+        access_schedule: List[Tuple[int, int]] = [
+            (stream_index, i)
+            for i in range(length)
+            for stream_index in range(len(streams))
+        ]
+        position = 0
+        next_cpu_attempt = 0
+        last_data_end = 0
+        first_retire: Optional[int] = None
+        last_retire = 0
+        transactions = 0
+        stall_cycles = 0
+        blocked_since: Optional[int] = None
+        if max_cycles is None:
+            max_cycles = 20_000 + 200 * sum(len(s.lines) for s in streams)
+
+        def issue_line(line_address: int, direction: Direction, cycle: int) -> int:
+            nonlocal last_data_end, transactions
+            bus_dir = (
+                BusDirection.READ
+                if direction is Direction.READ
+                else BusDirection.WRITE
+            )
+            packets = self.config.packets_per_cacheline
+            data_end = 0
+            for offset in range(packets):
+                location = self.address_map.decompose(
+                    line_address + offset * 16
+                )
+                bank = self.device.bank(location.bank)
+                if bank.open_row != location.row:
+                    if bank.is_open:
+                        self.device.issue_prer(location.bank, cycle)
+                    for neighbor in self.config.geometry.neighbors(
+                        location.bank
+                    ):
+                        if self.device.bank(neighbor).is_open:
+                            self.device.issue_prer(neighbor, cycle)
+                    self.device.issue_act(location.bank, location.row, cycle)
+                access = self.device.issue_col(
+                    location.bank,
+                    location.row,
+                    location.column,
+                    cycle,
+                    bus_dir,
+                    precharge=closed_page and offset == packets - 1,
+                )
+                data_end = access.data.end
+            transactions += 1
+            last_data_end = max(last_data_end, data_end)
+            return data_end
+
+        def insert_into_l2(line_address: int, dirty: bool) -> None:
+            """Line lands in the L2; the victim may stream out."""
+            outcome = self.l2.access(line_address, is_write=dirty)
+            present.add(line_address)
+            if outcome.evicted_line is not None:
+                present.discard(outcome.evicted_line)
+            if outcome.writeback_line is not None:
+                pending_writebacks.append(outcome.writeback_line)
+
+        cycle = 0
+        while True:
+            # Land arrivals.
+            for line_address, arrival in list(inflight.items()):
+                if arrival <= cycle:
+                    del inflight[line_address]
+                    insert_into_l2(line_address, dirty=False)
+            # Drain one pending writeback per cycle slot.
+            if pending_writebacks:
+                line_address = pending_writebacks.pop(0)
+                issue_line(line_address, Direction.WRITE, cycle)
+                self.writebacks_streamed += 1
+            # Prefetch round-robin: one line issue per cycle at most.
+            if len(inflight) < MAX_OUTSTANDING_LINES:
+                target = self._pick_prefetch(streams, position, access_schedule)
+                if target is not None:
+                    stream, line_address = target
+                    stream.prefetch_cursor += 1
+                    if line_address in present or line_address in inflight:
+                        pass  # already here (shared vector) — free
+                    else:
+                        arrival = issue_line(
+                            line_address, Direction.READ, cycle
+                        )
+                        inflight[line_address] = arrival
+            # CPU consumes in natural order.
+            if position < len(access_schedule) and cycle >= next_cpu_attempt:
+                stream_index, element = access_schedule[position]
+                stream = streams[stream_index]
+                line_address = stream.element_lines[element]
+                if stream.direction is Direction.WRITE:
+                    # Write-validate into the L2; no fetch needed.
+                    insert_into_l2(line_address, dirty=True)
+                    ready = True
+                elif line_address in present:
+                    self.l2.access(line_address, is_write=False)
+                    ready = True
+                elif line_address not in inflight:
+                    # Prematurely evicted (or never prefetched):
+                    # demand refetch — the cost the paper predicts.
+                    self.refetches += 1
+                    inflight[line_address] = issue_line(
+                        line_address, Direction.READ, cycle
+                    )
+                    ready = False
+                else:
+                    ready = False
+                if ready:
+                    if blocked_since is not None:
+                        stall_cycles += cycle - blocked_since
+                        blocked_since = None
+                    if first_retire is None:
+                        first_retire = cycle
+                    last_retire = cycle
+                    position += 1
+                    next_cpu_attempt = cycle + MATCHED_ACCESS_INTERVAL
+                elif blocked_since is None:
+                    blocked_since = cycle
+            if (
+                position >= len(access_schedule)
+                and not inflight
+                and not pending_writebacks
+            ):
+                break
+            cycle += 1
+            if cycle > max_cycles:
+                raise SchedulingError(
+                    f"L2 streaming run exceeded {max_cycles} cycles"
+                )
+
+        # Stream out the remaining dirty lines.
+        for line_address in self.l2.flush_dirty_lines():
+            issue_line(line_address, Direction.WRITE, cycle)
+            self.writebacks_streamed += 1
+
+        useful = len(descriptors) * length * ELEMENT_BYTES
+        return SimulationResult(
+            kernel=kernel.name,
+            organization=self.config.describe(),
+            length=length,
+            stride=stride,
+            fifo_depth=self.prefetch_window,
+            alignment=alignment.value,
+            policy="l2-streaming",
+            cycles=max(last_data_end, last_retire),
+            useful_bytes=useful,
+            transferred_bytes=self.device.bytes_transferred,
+            startup_cycles=first_retire or 0,
+            cpu_stall_cycles=stall_cycles,
+            packets_issued=transactions * self.config.packets_per_cacheline,
+            bank_conflicts=self.refetches,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _pick_prefetch(
+        self,
+        streams: List[_StreamState],
+        position: int,
+        schedule: List[Tuple[int, int]],
+    ) -> Optional[Tuple[_StreamState, int]]:
+        """Next read-stream line within the prefetch window."""
+        # The CPU's current iteration bounds how far ahead each
+        # stream's consumption pointer sits.
+        iteration = position // len(streams) if streams else 0
+        for stream in streams:
+            if stream.direction is not Direction.READ:
+                continue
+            if stream.prefetch_cursor >= len(stream.lines):
+                continue
+            element = min(iteration, len(stream.element_line_index) - 1)
+            consumed_lines = stream.element_line_index[element] + 1
+            if stream.prefetch_cursor < consumed_lines + self.prefetch_window:
+                return stream, stream.lines[stream.prefetch_cursor]
+        return None

@@ -1,0 +1,139 @@
+"""Memory Scheduling Unit.
+
+"To take advantage of the order sensitivity of the memory system, we
+include a scheduling unit that is capable of reordering accesses.
+This Memory Scheduling Unit (MSU) prefetches the reads, buffers the
+writes, and dynamically reorders the memory accesses to stream
+elements, issuing the requests in a sequence that attempts to maximize
+effective memory bandwidth."  (Section 3.)
+
+The MSU is driven by the simulation engine: at each decision cycle it
+asks its scheduling policy which FIFO to service, issues the ROW and
+COL packets the chosen access needs through the RDRAM device model,
+and reports read-data arrival events back to the engine.  Page misses,
+bank conflicts and activations are counted for the result report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.policies import SchedulingPolicy
+from repro.core.sbu import StreamBufferUnit
+from repro.rdram.device import RdramDevice
+from repro.rdram.packets import BusDirection
+
+#: Sentinel decision time for an idle MSU awaiting a FIFO state change.
+IDLE = 1 << 60
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """Read data landing in a FIFO when its DATA packet completes.
+
+    Attributes:
+        cycle: Interface-clock cycle at which the data is available.
+        fifo_index: The read FIFO receiving the elements.
+        elements: Number of 64-bit elements arriving.
+    """
+
+    cycle: int
+    fifo_index: int
+    elements: int
+
+
+class MemorySchedulingUnit:
+    """Issues stream accesses through the device under a policy.
+
+    Args:
+        device: The Direct RDRAM device model.
+        sbu: The stream buffer unit holding one FIFO per stream.
+        policy: FIFO selection / pacing policy.
+    """
+
+    def __init__(
+        self,
+        device: RdramDevice,
+        sbu: StreamBufferUnit,
+        policy: SchedulingPolicy,
+    ) -> None:
+        self.device = device
+        self.sbu = sbu
+        self.policy = policy
+        self.next_decision = 0
+        self.current = 0
+        self.packets_issued = 0
+        self.activations = 0
+        self.bank_conflicts = 0
+        self.speculative_activations = 0
+        self.fifo_switches = 0
+        self.last_data_end = 0
+
+    @property
+    def done(self) -> bool:
+        """True once every stream's access plan has been issued."""
+        return all(fifo.exhausted for fifo in self.sbu)
+
+    def wake(self, cycle: int) -> None:
+        """Re-arm an idle MSU after a FIFO state change."""
+        if self.next_decision >= IDLE:
+            self.next_decision = cycle
+
+    def tick(self, cycle: int) -> Tuple[ArrivalEvent, ...]:
+        """Make at most one scheduling decision at ``cycle``.
+
+        Returns:
+            Arrival events for any read data the issued access will
+            deliver (empty for writes or when idling).
+        """
+        if cycle < self.next_decision:
+            return ()
+        choice = self.policy.choose(cycle, self.sbu, self.current, self.device)
+        if choice is None:
+            self.next_decision = IDLE
+            return ()
+        if choice != self.current:
+            self.fifo_switches += 1
+            self.current = choice
+        fifo = self.sbu[choice]
+        unit = fifo.next_unit()
+        location = unit.location
+        bank = self.device.bank(location.bank)
+        if bank.open_row != location.row:
+            if bank.is_open:
+                self.bank_conflicts += 1
+                self.device.issue_prer(location.bank, cycle)
+            for neighbor in self.device.geometry.neighbors(location.bank):
+                # Double-bank cores: an adjacent open bank shares the
+                # sense amps and must be precharged first.
+                if self.device.bank(neighbor).is_open:
+                    self.bank_conflicts += 1
+                    self.device.issue_prer(neighbor, cycle)
+            self.device.issue_act(location.bank, location.row, cycle)
+            self.activations += 1
+        direction = BusDirection.READ if fifo.is_read else BusDirection.WRITE
+        access = self.device.issue_col(
+            location.bank,
+            location.row,
+            location.column,
+            cycle,
+            direction,
+            precharge=unit.precharge_after,
+        )
+        fifo.note_issue()
+        self.packets_issued += 1
+        self.last_data_end = max(self.last_data_end, access.data.end)
+        self.next_decision = max(
+            cycle + 1, self.policy.pace(access, cycle, self.device.timing)
+        )
+        self.policy.speculate(self, cycle, choice, unit)
+        if fifo.is_read:
+            return (
+                ArrivalEvent(
+                    cycle=access.data.end,
+                    fifo_index=choice,
+                    elements=unit.elements,
+                ),
+            )
+        return ()

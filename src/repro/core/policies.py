@@ -1,0 +1,248 @@
+"""MSU scheduling policies.
+
+The paper's MSU "considers each FIFO in turn, performing as many
+accesses as possible for the current FIFO before moving on.  This
+simple round-robin scheduling strategy represents a reasonable
+compromise between design complexity and performance, but it prevents
+the MSU from fully exploiting the independent banks of the RDRAM when
+a FIFO is ready for a data transfer but the associated memory bank is
+busy."  (Section 4.2.)
+
+Three policies are provided:
+
+* :class:`RoundRobinPolicy` — the paper's policy, including its
+  wait-on-busy-bank deficiency.
+* :class:`BankAwarePolicy` — the more sophisticated scheduler the
+  paper attributes to Hong's thesis: when the current FIFO's bank is
+  busy, service another serviceable FIFO whose bank is ready.
+* :class:`SpeculativePrechargePolicy` — the Section 6 suggestion: "a
+  scheduling policy that speculatively precharges a page and issues a
+  ROW ACT command before the stream crosses the page boundary would
+  mitigate some of these costs".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.fifo import AccessUnit
+from repro.core.sbu import StreamBufferUnit
+from repro.rdram.device import RdramDevice, ScheduledAccess
+from repro.rdram.timing import RdramTiming
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.msu import MemorySchedulingUnit
+
+
+class SchedulingPolicy:
+    """Base policy: FIFO selection, decision pacing, speculation hook."""
+
+    #: Registry name used by configuration and the experiment CLI.
+    name = "base"
+
+    def choose(
+        self,
+        cycle: int,
+        sbu: StreamBufferUnit,
+        current: int,
+        device: RdramDevice,
+    ) -> Optional[int]:
+        """Pick the FIFO to issue the next access for, or None to idle."""
+        raise NotImplementedError
+
+    def pace(
+        self, access: ScheduledAccess, cycle: int, timing: RdramTiming
+    ) -> int:
+        """Cycle at which the MSU makes its next decision.
+
+        The default lets the controller prepare its next access up to
+        t_RCD cycles before the previous COL packet goes out — enough
+        command pipelining for the next cacheline's ROW ACT to overlap
+        the current line's data transfer (Figure 5 shows ACT packets
+        paced by t_RR while data flows), and consistent with the
+        Direct RDRAM's four outstanding requests.  When the just-issued
+        access was pushed far into the future by a busy bank, the next
+        decision is deferred with it: the MSU waits on the current
+        FIFO's bank, which is the paper's stated round-robin
+        deficiency.
+        """
+        return max(cycle + 1, access.col.start - timing.t_rcd)
+
+    def speculate(
+        self,
+        msu: "MemorySchedulingUnit",
+        cycle: int,
+        fifo_index: int,
+        unit: AccessUnit,
+    ) -> None:
+        """Optional hook run after each issued access."""
+
+    @staticmethod
+    def _scan_order(current: int, count: int) -> range:
+        """Indices in round-robin order starting at ``current``."""
+        return range(current, current + count)
+
+    @staticmethod
+    def bank_ready(
+        device: RdramDevice,
+        unit: AccessUnit,
+        cycle: int,
+        slack: int,
+    ) -> bool:
+        """True if issuing ``unit`` now would not wait on its bank.
+
+        A bank is ready when the needed row is already open and a COL
+        packet could start within ``slack`` cycles, or the bank is
+        closed and an ACT could start within ``slack`` cycles.  A bank
+        holding a different open row is never "ready" — it needs a
+        precharge/activate pair first.
+        """
+        bank = device.bank(unit.location.bank)
+        if bank.open_row == unit.location.row:
+            return bank.earliest_col(cycle, unit.location.row) <= cycle + slack
+        if not bank.is_open:
+            return bank.earliest_act(cycle) <= cycle + slack
+        return False
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """The paper's MSU: stay on the current FIFO while it can accept
+    accesses, then advance to the next serviceable FIFO in order."""
+
+    name = "round-robin"
+
+    def choose(
+        self,
+        cycle: int,
+        sbu: StreamBufferUnit,
+        current: int,
+        device: RdramDevice,
+    ) -> Optional[int]:
+        count = len(sbu)
+        for offset in self._scan_order(current, count):
+            index = offset % count
+            if sbu[index].serviceable:
+                return index
+        return None
+
+
+class BankAwarePolicy(SchedulingPolicy):
+    """Service the FIFO whose bank can deliver data soonest.
+
+    The paper's round-robin MSU waits whenever the current FIFO's bank
+    is busy; Hong's thesis policy avoids those waits.  At each decision
+    this policy estimates, for every serviceable FIFO, the earliest
+    cycle its next COL packet could go out — a page hit costs only the
+    column timing, a closed bank adds the activate, and a bank holding
+    the wrong row adds a full precharge/activate turnaround — and
+    services the minimum.  The current FIFO is kept while its estimate
+    is within ``slack`` cycles (hysteresis, so committed row bursts are
+    not abandoned; defaults to t_RCD), and ties go to round-robin
+    order for fairness.
+
+    The paper's conclusion anticipates that such policies "warrant
+    further study to determine how robust their performances are";
+    the ablation benchmarks bear that out — this heuristic recovers
+    bandwidth in bank-conflict-heavy configurations (e.g. aligned
+    vectors on shallow-FIFO CLI systems) but can lose to plain
+    round-robin in placements whose conflict pattern resonates with
+    the service order.
+    """
+
+    name = "bank-aware"
+
+    def __init__(self, slack: Optional[int] = None) -> None:
+        self.slack = slack
+
+    def _estimate_col_start(
+        self, device: RdramDevice, fifo, cycle: int
+    ) -> int:
+        """Earliest cycle the FIFO's next COL could plausibly issue."""
+        timing = device.timing
+        location = fifo.next_unit().location
+        bank = device.bank(location.bank)
+        if bank.open_row == location.row:
+            return bank.earliest_col(cycle, location.row)
+        if not bank.is_open:
+            return bank.earliest_act(cycle) + timing.t_rcd
+        return bank.earliest_prer(cycle) + timing.t_rp + timing.t_rcd
+
+    def choose(
+        self,
+        cycle: int,
+        sbu: StreamBufferUnit,
+        current: int,
+        device: RdramDevice,
+    ) -> Optional[int]:
+        count = len(sbu)
+        slack = self.slack if self.slack is not None else device.timing.t_rcd
+        best: Optional[int] = None
+        best_estimate = 0
+        for offset in self._scan_order(current, count):
+            index = offset % count
+            fifo = sbu[index]
+            if not fifo.serviceable:
+                continue
+            estimate = self._estimate_col_start(device, fifo, cycle)
+            if index == current and estimate <= cycle + slack:
+                return current
+            if best is None or estimate < best_estimate:
+                best = index
+                best_estimate = estimate
+        return best
+
+
+class SpeculativePrechargePolicy(RoundRobinPolicy):
+    """Round-robin plus early precharge/activate across page crossings.
+
+    After each access, look ahead in the current stream's access plan;
+    if a different (bank, row) is coming up within ``lookahead`` units,
+    open that row now so the t_RP + t_RCD latency overlaps the
+    remaining transfers of the current page.  Designed for open-page
+    (PI) systems, where the paper identifies page-crossing overhead as
+    the factor keeping long-stream SMC performance below its bound.
+    """
+
+    name = "speculative-precharge"
+
+    def __init__(self, lookahead: int = 4) -> None:
+        self.lookahead = lookahead
+
+    def speculate(
+        self,
+        msu: "MemorySchedulingUnit",
+        cycle: int,
+        fifo_index: int,
+        unit: AccessUnit,
+    ) -> None:
+        fifo = msu.sbu[fifo_index]
+        here = (unit.location.bank, unit.location.row)
+        for pending in fifo.upcoming_units(self.lookahead):
+            upcoming = pending.location
+            target = (upcoming.bank, upcoming.row)
+            if target == here:
+                continue
+            bank = msu.device.bank(upcoming.bank)
+            if bank.open_row == upcoming.row:
+                return
+            if any(
+                msu.device.bank(neighbor).is_open
+                for neighbor in msu.device.geometry.neighbors(upcoming.bank)
+            ):
+                # Double-bank core with a busy neighbor: speculating
+                # would force a precharge on live data; leave it to the
+                # demand path.
+                return
+            if bank.is_open:
+                msu.device.issue_prer(upcoming.bank, cycle)
+            msu.device.issue_act(upcoming.bank, upcoming.row, cycle)
+            msu.speculative_activations += 1
+            return
+
+
+#: Registry for configuration by name.
+POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    BankAwarePolicy.name: BankAwarePolicy,
+    SpeculativePrechargePolicy.name: SpeculativePrechargePolicy,
+}

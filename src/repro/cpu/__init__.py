@@ -1,0 +1,52 @@
+"""Processor model, stream descriptors, and benchmark kernels."""
+
+from repro.cpu.kernels import (
+    COPY,
+    DAXPY,
+    DOT,
+    FILL,
+    FIR4,
+    STENCIL3,
+    HYDRO,
+    KERNELS,
+    PAPER_KERNELS,
+    SCALE,
+    SWAP,
+    TRIAD,
+    VAXPY,
+    Kernel,
+    get_kernel,
+)
+from repro.cpu.processor import MATCHED_ACCESS_INTERVAL, StreamProcessor
+from repro.cpu.streams import (
+    Alignment,
+    Direction,
+    StreamDescriptor,
+    StreamSpec,
+    place_streams,
+)
+
+__all__ = [
+    "COPY",
+    "DAXPY",
+    "DOT",
+    "FILL",
+    "FIR4",
+    "STENCIL3",
+    "HYDRO",
+    "KERNELS",
+    "PAPER_KERNELS",
+    "SCALE",
+    "SWAP",
+    "TRIAD",
+    "VAXPY",
+    "Kernel",
+    "get_kernel",
+    "MATCHED_ACCESS_INTERVAL",
+    "StreamProcessor",
+    "Alignment",
+    "Direction",
+    "StreamDescriptor",
+    "StreamSpec",
+    "place_streams",
+]

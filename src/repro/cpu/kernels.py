@@ -1,0 +1,186 @@
+"""Benchmark kernels (Figure 4 of the paper, plus extras).
+
+Each kernel declares the streams its inner loop touches, in the order
+the processor touches them each iteration.  The paper's four kernels:
+
+* ``copy``  — y[i] <- x[i]                       (1 read, 1 write)
+* ``daxpy`` — y[i] <- a*x[i] + y[i]              (2 reads, 1 write; y is
+  read-modify-write, so its read- and write-streams share a vector)
+* ``hydro`` — x[i] <- q + y[i]*(r*zx[i+10] + t*zx[i+11])  (3 reads,
+  1 write; following Section 4.1 the two offset zx accesses are modeled
+  as two independent equal-length read-streams)
+* ``vaxpy`` — y[i] <- a[i]*x[i] + y[i]           (3 reads, 1 write)
+
+Extras beyond the paper (used by examples and ablation benches):
+``fill``, ``scale``, ``swap``, ``dot``, ``triad`` (STREAM-style),
+``fir4`` and ``stencil3`` (multi-offset reads over one vector, the
+access shape the compiler front end emits for filters and stencils).
+Scalar operands (the a, q, r, t constants) live in registers and
+generate no memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import StreamError
+from repro.cpu.streams import Direction, StreamSpec
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """An inner loop, described by its per-iteration stream accesses.
+
+    Attributes:
+        name: Kernel name.
+        expression: Human-readable statement of the loop body.
+        streams: Streams in the order the processor accesses them each
+            iteration (reads in operand order, then writes).
+    """
+
+    name: str
+    expression: str
+    streams: Tuple[StreamSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.streams]
+        if len(set(names)) != len(names):
+            raise StreamError(f"kernel {self.name}: duplicate stream names")
+        if not self.streams:
+            raise StreamError(f"kernel {self.name}: no streams")
+
+    @property
+    def num_read_streams(self) -> int:
+        """The paper's s_r."""
+        return sum(1 for s in self.streams if s.direction is Direction.READ)
+
+    @property
+    def num_write_streams(self) -> int:
+        """The paper's s_w."""
+        return sum(1 for s in self.streams if s.direction is Direction.WRITE)
+
+    @property
+    def num_streams(self) -> int:
+        """The paper's s = s_r + s_w."""
+        return len(self.streams)
+
+    def access_order(self, length: int) -> Iterator[Tuple[int, StreamSpec]]:
+        """Yield (iteration, stream) pairs in natural program order."""
+        for i in range(length):
+            for spec in self.streams:
+                yield i, spec
+
+
+def _rd(name: str, vector: str = "") -> StreamSpec:
+    return StreamSpec(name=name, vector=vector or name, direction=Direction.READ)
+
+
+def _wr(name: str, vector: str = "") -> StreamSpec:
+    return StreamSpec(name=name, vector=vector or name, direction=Direction.WRITE)
+
+
+COPY = Kernel(
+    name="copy",
+    expression="y[i] <- x[i]",
+    streams=(_rd("x"), _wr("y")),
+)
+
+DAXPY = Kernel(
+    name="daxpy",
+    expression="y[i] <- a*x[i] + y[i]",
+    streams=(_rd("x"), _rd("y.rd", "y"), _wr("y.wr", "y")),
+)
+
+HYDRO = Kernel(
+    name="hydro",
+    expression="x[i] <- q + y[i]*(r*zx[i+10] + t*zx[i+11])",
+    streams=(_rd("zx10"), _rd("zx11"), _rd("y"), _wr("x")),
+)
+
+VAXPY = Kernel(
+    name="vaxpy",
+    expression="y[i] <- a[i]*x[i] + y[i]",
+    streams=(_rd("a"), _rd("x"), _rd("y.rd", "y"), _wr("y.wr", "y")),
+)
+
+FILL = Kernel(
+    name="fill",
+    expression="y[i] <- c",
+    streams=(_wr("y"),),
+)
+
+SCALE = Kernel(
+    name="scale",
+    expression="x[i] <- a*x[i]",
+    streams=(_rd("x.rd", "x"), _wr("x.wr", "x")),
+)
+
+SWAP = Kernel(
+    name="swap",
+    expression="x[i] <-> y[i]",
+    streams=(_rd("x.rd", "x"), _rd("y.rd", "y"), _wr("x.wr", "x"), _wr("y.wr", "y")),
+)
+
+DOT = Kernel(
+    name="dot",
+    expression="s <- s + x[i]*y[i]",
+    streams=(_rd("x"), _rd("y")),
+)
+
+TRIAD = Kernel(
+    name="triad",
+    expression="z[i] <- x[i] + a*y[i]",
+    streams=(_rd("x"), _rd("y"), _wr("z")),
+)
+
+FIR4 = Kernel(
+    name="fir4",
+    expression="y[i] <- c0*x[i] + c1*x[i+1] + c2*x[i+2] + c3*x[i+3]",
+    streams=(
+        StreamSpec("x+0", "x", Direction.READ, offset=0),
+        StreamSpec("x+1", "x", Direction.READ, offset=1),
+        StreamSpec("x+2", "x", Direction.READ, offset=2),
+        StreamSpec("x+3", "x", Direction.READ, offset=3),
+        _wr("y"),
+    ),
+)
+
+STENCIL3 = Kernel(
+    name="stencil3",
+    expression="u[i] <- a*v[i] + b*v[i+1] + c*v[i+2]",
+    streams=(
+        StreamSpec("v+0", "v", Direction.READ, offset=0),
+        StreamSpec("v+1", "v", Direction.READ, offset=1),
+        StreamSpec("v+2", "v", Direction.READ, offset=2),
+        _wr("u"),
+    ),
+)
+
+#: The paper's benchmark suite (Figure 4), in presentation order.
+PAPER_KERNELS: Dict[str, Kernel] = {
+    k.name: k for k in (COPY, DAXPY, HYDRO, VAXPY)
+}
+
+#: All kernels shipped with the library.
+KERNELS: Dict[str, Kernel] = {
+    k.name: k
+    for k in (
+        COPY, DAXPY, HYDRO, VAXPY, FILL, SCALE, SWAP, DOT, TRIAD,
+        FIR4, STENCIL3,
+    )
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by name.
+
+    Raises:
+        StreamError: If no kernel with that name exists.
+    """
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise StreamError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None

@@ -1,0 +1,133 @@
+"""In-order, bandwidth-matched processor model.
+
+Section 4.1: "We model the processor as a generator of only loads and
+stores of stream elements.  All non-stream accesses are assumed to hit
+in cache, and all computation is assumed to be infinitely fast." and
+"the CPU can consume data items at the memory's maximum rate of
+supply".
+
+The processor walks the kernel's accesses in natural program order —
+one element of each stream per iteration — and can complete one 64-bit
+element access every ``access_interval`` interface-clock cycles.  At
+the Direct RDRAM peak of 4 bytes/cycle, an 8-byte element every 2
+cycles exactly matches peak bandwidth.  A read retires by popping the
+head of the corresponding FIFO (the memory-mapped head register of
+Section 3); a write retires by pushing into the write FIFO.  If the
+FIFO is not ready, the processor stalls and retries every cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Tuple
+
+from repro.cpu.kernels import Kernel
+from repro.cpu.streams import Direction
+
+#: Cycles per element access at which CPU bandwidth equals the memory's
+#: peak bandwidth (8-byte element / 4 bytes-per-cycle).
+MATCHED_ACCESS_INTERVAL = 2
+
+
+class StreamPort(Protocol):
+    """What the processor needs from the stream buffer unit."""
+
+    def cpu_can_pop(self, stream_index: int) -> bool:
+        """True if the head of the read FIFO holds valid data."""
+
+    def cpu_pop(self, stream_index: int) -> None:
+        """Dequeue one element from a read FIFO."""
+
+    def cpu_can_push(self, stream_index: int) -> bool:
+        """True if the write FIFO can accept one element."""
+
+    def cpu_push(self, stream_index: int) -> None:
+        """Enqueue one element into a write FIFO."""
+
+
+class StreamProcessor:
+    """Generates the kernel's element accesses in natural order.
+
+    Args:
+        kernel: The inner loop being executed.
+        length: Vector length in elements (the paper's L_s).
+        access_interval: Minimum cycles between successive element
+            accesses; 2 models the paper's matched-bandwidth CPU.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        length: int,
+        access_interval: int = MATCHED_ACCESS_INTERVAL,
+    ) -> None:
+        self.kernel = kernel
+        self.length = length
+        self.access_interval = access_interval
+        self._schedule: List[Tuple[int, Direction]] = [
+            (stream_index, spec.direction)
+            for __ in range(length)
+            for stream_index, spec in enumerate(kernel.streams)
+        ]
+        self._position = 0
+        self._next_attempt = 0
+        self._blocked_since: Optional[int] = None
+        self.stall_cycles = 0
+        self.first_element_cycle: Optional[int] = None
+        self.last_retire_cycle: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        """True once every access in the loop has retired."""
+        return self._position >= len(self._schedule)
+
+    @property
+    def accesses_retired(self) -> int:
+        """Element accesses completed so far."""
+        return self._position
+
+    def tick(self, cycle: int, port: StreamPort) -> bool:
+        """Attempt to retire the next access at ``cycle``.
+
+        The processor retires at most one element access per call and
+        honors the pacing interval.  A blocked access is retried on
+        every visited cycle; blocked spans are accumulated into
+        :attr:`stall_cycles` from the cycle the block began, so the
+        count is exact even when the simulation engine skips over
+        cycles in which no component can act.
+
+        Returns:
+            True if an access retired this cycle.
+        """
+        if self.done or cycle < self._next_attempt:
+            return False
+        stream_index, direction = self._schedule[self._position]
+        if direction is Direction.READ:
+            ready = port.cpu_can_pop(stream_index)
+        else:
+            ready = port.cpu_can_push(stream_index)
+        if not ready:
+            if self._blocked_since is None:
+                self._blocked_since = cycle
+            return False
+        if self._blocked_since is not None:
+            self.stall_cycles += cycle - self._blocked_since
+            self._blocked_since = None
+        if direction is Direction.READ:
+            port.cpu_pop(stream_index)
+        else:
+            port.cpu_push(stream_index)
+        if self.first_element_cycle is None:
+            self.first_element_cycle = cycle
+        self.last_retire_cycle = cycle
+        self._position += 1
+        self._next_attempt = cycle + self.access_interval
+        return True
+
+    @property
+    def next_attempt_cycle(self) -> Optional[int]:
+        """Next cycle at which the processor can act on its own, or
+        None when it is blocked (it must be woken by a FIFO change) or
+        done."""
+        if self.done or self._blocked_since is not None:
+            return None
+        return self._next_attempt

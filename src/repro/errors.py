@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object violates the paper's modeling assumptions.
+
+    Raised, for example, when the cacheline size is not an integer
+    multiple of the DATA packet size, or when the RDRAM page size is not
+    an integer multiple of the cacheline size (Section 4.1).
+    """
+
+
+class ProtocolError(ReproError):
+    """A command was issued in violation of the RDRAM timing protocol.
+
+    The device model refuses illegal commands instead of silently
+    mis-timing them; the protocol auditor raises this when replaying a
+    trace that breaks a datasheet constraint.
+    """
+
+
+class SchedulingError(ReproError):
+    """The memory controller reached an inconsistent scheduling state.
+
+    For example, an MSU asked to service a FIFO whose stream is already
+    exhausted, or a simulation that can no longer make forward progress
+    (deadlock watchdog).
+    """
+
+
+class StreamError(ReproError):
+    """A stream descriptor is malformed or used inconsistently.
+
+    Raised for non-positive lengths or strides, misaligned base
+    addresses, or reading past the end of a stream.
+    """
+
+
+class CompileError(ReproError):
+    """A loop could not be compiled into stream descriptors.
+
+    Raised by the compiler front end for syntax errors, non-linear or
+    non-affine subscripts, indirect (gather/scatter) accesses, and
+    references to the loop index outside a subscript.
+    """

@@ -1,0 +1,36 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.experiments import (
+    cache_reality,
+    channel,
+    doublebank,
+    figure7,
+    figure8,
+    figure9,
+    fpm_heritage,
+    headline,
+    l2_tradeoff,
+    refresh_ablation,
+    report,
+    tables,
+    timelines,
+)
+from repro.experiments.rendering import ExperimentTable, render_all
+
+__all__ = [
+    "cache_reality",
+    "channel",
+    "doublebank",
+    "figure7",
+    "figure8",
+    "figure9",
+    "fpm_heritage",
+    "headline",
+    "l2_tradeoff",
+    "refresh_ablation",
+    "report",
+    "tables",
+    "timelines",
+    "ExperimentTable",
+    "render_all",
+]

@@ -1,0 +1,91 @@
+"""Cache-reality experiment: the paper's closing claim, measured.
+
+Conclusions: "When we take non-unit strides, cache conflicts, and
+cache writebacks into account, the SMC's advantages become even more
+significant."  The paper leaves measuring this "beyond the scope of
+this study"; here we measure it.
+
+For each kernel and organization we report percent of peak for:
+
+* the paper's idealized natural-order simulation (no writebacks, no
+  conflicts — Section 5.1's assumptions);
+* a cache-realistic baseline behind a 16 KB direct-mapped cache
+  (write-allocate fills, dirty writebacks, conflict misses);
+* the same behind a 4-way cache;
+* the SMC with deep FIFOs.
+
+A second table repeats the comparison for the stride-4 vaxpy of
+Figure 9, where vector footprints quadruple and the conflict effects
+the paper predicts appear in force.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cache.controller import CachedNaturalOrderController
+from repro.cache.model import CacheConfig
+from repro.cpu.kernels import PAPER_KERNELS, get_kernel
+from repro.experiments.rendering import ExperimentTable
+from repro.memsys.config import MemorySystemConfig
+from repro.naturalorder.controller import NaturalOrderController
+from repro.sim.runner import simulate_kernel
+
+LENGTH = 1024
+FIFO_DEPTH = 128
+
+
+def _row(kernel, config, stride: int):
+    ideal = NaturalOrderController(config).run(
+        kernel, length=LENGTH, stride=stride
+    )
+    direct = CachedNaturalOrderController(
+        config, CacheConfig(associativity=1)
+    ).run(kernel, length=LENGTH, stride=stride)
+    four_way = CachedNaturalOrderController(
+        config, CacheConfig(associativity=4)
+    ).run(kernel, length=LENGTH, stride=stride)
+    smc = simulate_kernel(
+        kernel, config, length=LENGTH, fifo_depth=FIFO_DEPTH, stride=stride
+    )
+    return ideal, direct, four_way, smc
+
+
+def run(kernels: Sequence[str] = tuple(PAPER_KERNELS)) -> List[ExperimentTable]:
+    """Regenerate the cache-reality comparison tables."""
+    tables = []
+    for stride, label in ((1, "stride 1"), (4, "stride 4")):
+        table = ExperimentTable(
+            title=f"Cache reality — % of peak, {label}",
+            headers=(
+                "kernel",
+                "org",
+                "idealized natural order",
+                "16KB direct-mapped",
+                "16KB 4-way",
+                "SMC f=128",
+                "SMC / direct-mapped",
+            ),
+        )
+        for name in kernels:
+            kernel = get_kernel(name)
+            for org in ("cli", "pi"):
+                config = getattr(MemorySystemConfig, org)()
+                ideal, direct, four_way, smc = _row(kernel, config, stride)
+                table.add_row(
+                    name,
+                    org.upper(),
+                    ideal.percent_of_peak,
+                    direct.percent_of_peak,
+                    four_way.percent_of_peak,
+                    smc.percent_of_peak,
+                    smc.percent_of_peak / direct.percent_of_peak,
+                )
+        table.notes.append(
+            "Write-allocate fills and writebacks that the paper's "
+            "Section 5.1 bounds ignore reduce the realistic baseline; "
+            "the SMC's advantage grows accordingly (the paper's "
+            "closing claim)."
+        )
+        tables.append(table)
+    return tables

@@ -1,0 +1,131 @@
+"""Figure 7: percent of peak bandwidth vs FIFO depth, 16 panels.
+
+For each benchmark kernel (copy, daxpy, hydro, vaxpy), each memory
+organization (CLI closed-page, PI open-page), and each vector length
+(128 and 1024 elements), sweep FIFO depth from 8 to 128 elements and
+report the same four series the paper plots:
+
+* the natural-order cacheline access limit (flat line, analytic),
+* the combined SMC analytic limit (startup + asymptotic bounds),
+* simulated SMC performance with staggered vector bases,
+* simulated SMC performance with aligned vector bases (maximal bank
+  conflicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analytic.cache import natural_order_bound
+from repro.analytic.smc import smc_bound
+from repro.cpu.kernels import PAPER_KERNELS, Kernel, get_kernel
+from repro.experiments.rendering import ExperimentTable
+from repro.memsys.config import MemorySystemConfig
+from repro.sim.runner import simulate_kernel
+
+#: FIFO depths the paper sweeps (Section 6).
+DEPTHS: Tuple[int, ...] = (8, 16, 32, 64, 128)
+
+#: Vector lengths the paper evaluates (Section 6).
+LENGTHS: Tuple[int, ...] = (128, 1024)
+
+ORGS: Tuple[str, ...] = ("cli", "pi")
+
+
+@dataclass
+class Figure7Panel:
+    """One of the sixteen panels of Figure 7.
+
+    Attributes:
+        kernel: Kernel name.
+        organization: "cli" or "pi".
+        length: Vector length in elements.
+        table: Depth-indexed series (see module docstring).
+    """
+
+    kernel: str
+    organization: str
+    length: int
+    table: ExperimentTable
+
+
+def run_panel(
+    kernel: Kernel,
+    organization: str,
+    length: int,
+    depths: Sequence[int] = DEPTHS,
+) -> Figure7Panel:
+    """Compute one panel: sweep FIFO depth for a fixed kernel/org/length."""
+    config = (
+        MemorySystemConfig.cli()
+        if organization == "cli"
+        else MemorySystemConfig.pi()
+    )
+    cache_limit = natural_order_bound(
+        config, kernel.num_read_streams, kernel.num_write_streams
+    ).percent_of_peak
+    table = ExperimentTable(
+        title=(
+            f"Figure 7 — {kernel.name}, {organization.upper()}, "
+            f"{length}-element vectors"
+        ),
+        headers=(
+            "fifo depth",
+            "cache limit %",
+            "SMC combined limit %",
+            "SMC staggered %",
+            "SMC aligned %",
+        ),
+    )
+    for depth in depths:
+        bound = smc_bound(
+            config,
+            kernel.num_read_streams,
+            kernel.num_write_streams,
+            length,
+            depth,
+        )
+        staggered = simulate_kernel(
+            kernel, config, length=length, fifo_depth=depth,
+            alignment="staggered",
+        )
+        aligned = simulate_kernel(
+            kernel, config, length=length, fifo_depth=depth,
+            alignment="aligned",
+        )
+        table.add_row(
+            depth,
+            cache_limit,
+            bound.percent_combined_limit,
+            staggered.percent_of_peak,
+            aligned.percent_of_peak,
+        )
+    return Figure7Panel(
+        kernel=kernel.name,
+        organization=organization,
+        length=length,
+        table=table,
+    )
+
+
+def run(
+    kernels: Sequence[str] = tuple(PAPER_KERNELS),
+    organizations: Sequence[str] = ORGS,
+    lengths: Sequence[int] = LENGTHS,
+    depths: Sequence[int] = DEPTHS,
+) -> List[Figure7Panel]:
+    """Regenerate all panels of Figure 7.
+
+    Defaults reproduce the full 16-panel figure; narrow the arguments
+    for quicker spot checks.
+    """
+    panels = []
+    for name in kernels:
+        kernel = get_kernel(name)
+        for organization in organizations:
+            for length in lengths:
+                panels.append(
+                    run_panel(kernel, organization, length, depths)
+                )
+    return panels

@@ -1,0 +1,109 @@
+"""Section 6 / abstract headline numbers, paper vs. reproduction.
+
+Regenerates every specific number the paper's prose quotes:
+
+* 8-stream (7 read + 1 write) natural-order bounds at strides 1 and 4
+  (88.68 % / 76.11 % and 22.17 % / 19.03 %),
+* copy on the SMC exploiting over 98 % of peak for 1024-element
+  vectors, and about 95 % for 128-element vectors (startup-limited),
+* the natural-order benchmark range (44-76 % of peak),
+* the stride-one SMC improvement factors over the natural-order limit
+  (1.18x to 2.25x).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analytic.cache import natural_order_bound
+from repro.analytic.smc import smc_bound
+from repro.cpu.kernels import PAPER_KERNELS
+from repro.experiments.rendering import ExperimentTable
+from repro.memsys.config import MemorySystemConfig
+from repro.sim.runner import simulate_kernel
+
+DEEP_FIFO = 128
+LONG = 1024
+SHORT = 128
+
+
+def run() -> List[ExperimentTable]:
+    """Regenerate the quoted-number comparisons."""
+    cli = MemorySystemConfig.cli()
+    pi = MemorySystemConfig.pi()
+
+    bounds = ExperimentTable(
+        title="Section 6 — eight-stream natural-order bounds",
+        headers=("configuration", "paper %", "ours %"),
+    )
+    bounds.add_row(
+        "PI, 8 streams, stride 1", 88.68,
+        natural_order_bound(pi, 7, 1, stride=1).percent_of_peak,
+    )
+    bounds.add_row(
+        "CLI, 8 streams, stride 1", 76.11,
+        natural_order_bound(cli, 7, 1, stride=1).percent_of_peak,
+    )
+    bounds.add_row(
+        "PI, 8 streams, stride 4", 22.17,
+        natural_order_bound(pi, 7, 1, stride=4).percent_of_peak,
+    )
+    bounds.add_row(
+        "CLI, 8 streams, stride 4", 19.03,
+        natural_order_bound(cli, 7, 1, stride=4).percent_of_peak,
+    )
+
+    copy_smc = ExperimentTable(
+        title="Section 6 — copy on the SMC",
+        headers=("configuration", "paper %", "ours %"),
+    )
+    long_copy = simulate_kernel("copy", cli, length=LONG, fifo_depth=DEEP_FIFO)
+    copy_smc.add_row("copy, CLI, 1024 elems, f=128 (sim)", ">98", long_copy.percent_of_peak)
+    short_bound = smc_bound(cli, 1, 1, SHORT, DEEP_FIFO)
+    copy_smc.add_row(
+        "copy, CLI, 128 elems, f=128 (startup limit)", "~95",
+        short_bound.percent_startup_limit,
+    )
+    short_copy = simulate_kernel("copy", cli, length=SHORT, fifo_depth=DEEP_FIFO)
+    copy_smc.add_row("copy, CLI, 128 elems, f=128 (sim)", "<=~95", short_copy.percent_of_peak)
+
+    improvement = ExperimentTable(
+        title="Abstract — SMC improvement over natural-order limit (stride 1)",
+        headers=(
+            "kernel", "org", "cache limit %", "SMC sim %", "improvement x"
+        ),
+        notes=["Paper quotes improvement factors of 1.18x to 2.25x."],
+    )
+    factors = []
+    cache_range = []
+    for name, kernel in PAPER_KERNELS.items():
+        for org_name, config in (("cli", cli), ("pi", pi)):
+            cache = natural_order_bound(
+                config, kernel.num_read_streams, kernel.num_write_streams
+            ).percent_of_peak
+            cache_range.append(cache)
+            smc = simulate_kernel(
+                kernel, config, length=LONG, fifo_depth=DEEP_FIFO
+            ).percent_of_peak
+            factor = smc / cache
+            factors.append(factor)
+            improvement.add_row(name, org_name.upper(), cache, smc, factor)
+    improvement.notes.append(
+        f"our factor range: {min(factors):.2f}x to {max(factors):.2f}x"
+    )
+
+    coverage = ExperimentTable(
+        title="Abstract — natural-order bandwidth range across benchmarks",
+        headers=("metric", "paper", "ours"),
+        notes=[
+            "Paper: accessing unit-stride streams by cachelines in "
+            "natural order exploits 44-76% of peak for the benchmarks."
+        ],
+    )
+    coverage.add_row(
+        "natural-order range over kernels x orgs",
+        "44-76 %",
+        f"{min(cache_range):.1f}-{max(cache_range):.1f} %",
+    )
+
+    return [bounds, copy_smc, improvement, coverage]

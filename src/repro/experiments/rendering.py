@@ -1,0 +1,141 @@
+"""Plain-text and CSV rendering helpers for experiment output.
+
+Every experiment produces an :class:`ExperimentTable` — the same rows
+and series the paper's tables and figures report — which renders to an
+aligned text table for the terminal and to CSV for downstream
+plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+@dataclass
+class ExperimentTable:
+    """One table or figure's worth of regenerated data.
+
+    Attributes:
+        title: Experiment identifier (e.g. "Figure 8").
+        headers: Column names.
+        rows: Data rows; floats are rendered to two decimals.
+        notes: Free-form caveats appended under the table.
+    """
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one data row."""
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Aligned, boxed text rendering."""
+        cells = [[_format(c) for c in row] for row in self.rows]
+        widths = [
+            max(
+                len(str(header)),
+                *(len(row[i]) for row in cells) if cells else (0,),
+            )
+            for i, header in enumerate(self.headers)
+        ]
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        out.write(
+            "  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+            + "\n"
+        )
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in cells:
+            out.write(
+                "  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n"
+            )
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """CSV rendering (comma-separated, header row first)."""
+        out = io.StringIO()
+        out.write(",".join(str(h) for h in self.headers) + "\n")
+        for row in self.rows:
+            out.write(",".join(_format(c) for c in row) + "\n")
+        return out.getvalue()
+
+
+def _format(cell: Cell) -> str:
+    if cell is None:
+        return ""
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_all(tables: Sequence[ExperimentTable]) -> str:
+    """Concatenate renderings with blank-line separators."""
+    return "\n".join(table.render() for table in tables)
+
+
+#: Plot markers assigned to series in order.
+MARKERS = "*o+x#@%&"
+
+
+def render_chart(
+    table: ExperimentTable,
+    height: int = 16,
+    y_min: float = 0.0,
+    y_max: float = 100.0,
+) -> str:
+    """Render a table's numeric columns as a text chart.
+
+    The first column supplies the x axis (one plot column per row, in
+    row order); every other column becomes a series drawn with its own
+    marker.  Designed for the percent-of-bandwidth figures, hence the
+    default 0-100 y range.
+
+    Args:
+        table: The experiment table to plot.
+        height: Plot rows between y_min and y_max.
+        y_min: Bottom of the y axis.
+        y_max: Top of the y axis.
+
+    Returns:
+        The chart plus a marker legend.
+    """
+    if not table.rows:
+        return f"== {table.title} ==\n(no data)\n"
+    series_names = list(table.headers[1:])
+    xs = [row[0] for row in table.rows]
+    grid = [[" "] * len(xs) for __ in range(height + 1)]
+    for series_index, name in enumerate(series_names):
+        marker = MARKERS[series_index % len(MARKERS)]
+        for column, row in enumerate(table.rows):
+            value = row[series_index + 1]
+            if value is None:
+                continue
+            clamped = min(max(float(value), y_min), y_max)
+            level = round((clamped - y_min) / (y_max - y_min) * height)
+            cell = grid[height - level][column]
+            # Overlapping series show the later marker; exact overlap
+            # of more than two is rare at chart resolution.
+            grid[height - level][column] = marker if cell == " " else "="
+    out = io.StringIO()
+    out.write(f"== {table.title} (chart) ==\n")
+    for level, cells in enumerate(grid):
+        y_value = y_max - (y_max - y_min) * level / height
+        out.write(f"{y_value:6.1f} |" + " ".join(cells) + "\n")
+    out.write("       +" + "-" * (2 * len(xs) - 1) + "\n")
+    labels = " ".join(str(x)[0] for x in xs)
+    out.write("        " + labels + f"   (x: {xs[0]}..{xs[-1]}, "
+              f"{table.headers[0]})\n")
+    for series_index, name in enumerate(series_names):
+        marker = MARKERS[series_index % len(MARKERS)]
+        out.write(f"        {marker} = {name}\n")
+    out.write("        = marks overlapping series\n")
+    return out.getvalue()

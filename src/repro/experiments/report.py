@@ -1,0 +1,180 @@
+"""One-shot reproduction report.
+
+Runs the full experiment harness and writes a single markdown document
+— paper claims on the left, this build's measurements on the right,
+with a PASS/NEAR/DIFF verdict per row — so a reader can judge the
+reproduction without running anything themselves.
+
+    repro-experiments --report results/REPORT.md
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.analytic.cache import natural_order_bound
+from repro.cpu.kernels import PAPER_KERNELS, get_kernel
+from repro.memsys.config import MemorySystemConfig
+from repro.sim.runner import simulate_kernel
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable sentence from the paper.
+
+    Attributes:
+        source: Where the paper says it.
+        statement: The claim, paraphrased.
+        paper_value: The number(s) the paper quotes (as text).
+        measure: Callable producing (our value as text, verdict).
+    """
+
+    source: str
+    statement: str
+    paper_value: str
+    measure: Callable[[], Tuple[str, str]]
+
+
+def _verdict(ours: float, target: float, near: float, far: float) -> str:
+    delta = abs(ours - target)
+    if delta <= near:
+        return "PASS"
+    if delta <= far:
+        return "NEAR"
+    return "DIFF"
+
+
+def _bound(org: str, s_r: int, s_w: int, stride: int = 1) -> float:
+    config = getattr(MemorySystemConfig, org)()
+    return natural_order_bound(config, s_r, s_w, stride=stride).percent_of_peak
+
+
+def _smc(kernel: str, org: str, depth: int = 128, length: int = 1024) -> float:
+    return simulate_kernel(
+        kernel, org, length=length, fifo_depth=depth
+    ).percent_of_peak
+
+
+def _claims() -> List[Claim]:
+    def bound_claim(org, stride, target):
+        def run():
+            ours = _bound(org, 7, 1, stride)
+            return f"{ours:.2f} %", _verdict(ours, target, 0.3, 1.5)
+        return run
+
+    def copy_claim():
+        ours = _smc("copy", "cli")
+        if ours > 98:
+            verdict = "PASS"
+        elif ours > 96.5:
+            verdict = "NEAR"
+        else:
+            verdict = "DIFF"
+        return f"{ours:.2f} %", verdict
+
+    def improvement_claim():
+        factors = []
+        for name in PAPER_KERNELS:
+            kernel = get_kernel(name)
+            for org in ("cli", "pi"):
+                cache = _bound(org, kernel.num_read_streams, kernel.num_write_streams)
+                factors.append(_smc(name, org) / cache)
+        low, high = min(factors), max(factors)
+        verdict = (
+            "PASS"
+            if abs(low - 1.18) < 0.1 and abs(high - 2.25) < 0.25
+            else "NEAR"
+        )
+        return f"{low:.2f}x - {high:.2f}x", verdict
+
+    def range_claim():
+        bounds = []
+        for name in PAPER_KERNELS:
+            kernel = get_kernel(name)
+            for org in ("cli", "pi"):
+                bounds.append(
+                    _bound(org, kernel.num_read_streams, kernel.num_write_streams)
+                )
+        low, high = min(bounds), max(bounds)
+        # The low end reproduces exactly; our reconciled model puts
+        # the 4-stream PI bound at 80 % where the paper says "less
+        # than 76 %", so the range is honestly NEAR, not PASS.
+        verdict = "NEAR" if abs(low - 44) < 2 and high <= 81 else "DIFF"
+        return f"{low:.1f} - {high:.1f} %", verdict
+
+    def strided_claim():
+        cache = natural_order_bound(
+            MemorySystemConfig.pi(), 3, 1, stride=4
+        ).percent_of_attainable
+        smc = simulate_kernel(
+            "vaxpy", "pi", length=1024, fifo_depth=128, stride=4
+        ).percent_of_attainable
+        ratio = smc / cache
+        # "up to 2.2x" is a ceiling claim; we land a bit above it.
+        return f"{ratio:.2f}x", _verdict(ratio, 2.2, 0.1, 0.4)
+
+    return [
+        Claim(
+            "Section 6", "8-stream natural-order bound, PI, stride 1",
+            "88.68 %", bound_claim("pi", 1, 88.68),
+        ),
+        Claim(
+            "Section 6", "8-stream natural-order bound, CLI, stride 1",
+            "76.11 %", bound_claim("cli", 1, 76.11),
+        ),
+        Claim(
+            "Section 6", "8-stream natural-order bound, PI, stride 4",
+            "22.17 %", bound_claim("pi", 4, 22.17),
+        ),
+        Claim(
+            "Section 6", "8-stream natural-order bound, CLI, stride 4",
+            "19.03 %", bound_claim("cli", 4, 19.03),
+        ),
+        Claim(
+            "Section 6", "copy, 1024 elements, deep-FIFO SMC",
+            "> 98 %", copy_claim,
+        ),
+        Claim(
+            "Abstract", "SMC improvement factors over natural order, stride 1",
+            "1.18x - 2.25x", improvement_claim,
+        ),
+        Claim(
+            "Abstract", "natural-order range across the benchmarks",
+            "44 - 76 %", range_claim,
+        ),
+        Claim(
+            "Section 6 / Figure 9", "strided SMC vs naive on PI (stride 4)",
+            "up to 2.2x", strided_claim,
+        ),
+    ]
+
+
+def generate_report() -> str:
+    """Produce the markdown reproduction report."""
+    out = io.StringIO()
+    out.write("# Reproduction report\n\n")
+    out.write(
+        "Hong et al., *Access Order and Effective Bandwidth for Streams "
+        "on a Direct Rambus Memory* (HPCA 1999) — paper claims vs this "
+        "build, regenerated live by `repro.experiments.report`.\n\n"
+    )
+    out.write("| source | claim | paper | this build | verdict |\n")
+    out.write("|---|---|---|---|---|\n")
+    verdicts = []
+    for claim in _claims():
+        ours, verdict = claim.measure()
+        verdicts.append(verdict)
+        out.write(
+            f"| {claim.source} | {claim.statement} | {claim.paper_value} "
+            f"| {ours} | {verdict} |\n"
+        )
+    passed = verdicts.count("PASS")
+    out.write(
+        f"\n**{passed}/{len(verdicts)} PASS**, "
+        f"{verdicts.count('NEAR')} NEAR, {verdicts.count('DIFF')} DIFF.  "
+        "See `EXPERIMENTS.md` for the full per-figure accounting and "
+        "modeling caveats.\n"
+    )
+    return out.getvalue()

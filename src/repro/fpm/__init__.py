@@ -1,0 +1,6 @@
+"""Fast-page-mode substrate: the Section 3 proof-of-concept system."""
+
+from repro.fpm.device import FpmGeometry, FpmMemorySystem
+from repro.fpm.smc import FpmResult, run_fpm
+
+__all__ = ["FpmGeometry", "FpmMemorySystem", "FpmResult", "run_fpm"]

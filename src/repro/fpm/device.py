@@ -1,0 +1,106 @@
+"""Fast-page-mode DRAM system: the SMC's proof-of-concept substrate.
+
+Section 3: "We built two experimental versions of an SMC system ...
+The memory system consisted of two banks of 1 Mbit x 36 fast-page
+mode components with 1 Kbyte pages.  We found that an SMC
+significantly improves the effective memory bandwidth, exploiting
+over 90% of the attainable bandwidth for long-vector computations."
+
+This package models that earlier memory system with Figure 1's
+fast-page-mode timings so the SMC-vs-natural-order comparison can be
+replayed on the technology the SMC was invented for.  Unlike the
+packetized, pipelined Direct RDRAM, an FPM system is serial: one
+access at a time, a page hit costing the page-mode cycle time t_PC
+and a page miss the full random cycle time t_RC.  Timing here is in
+nanoseconds — FPM parts are asynchronous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.rdram.timing import DRAM_FAMILIES, ClassicDramTiming
+
+
+@dataclass(frozen=True)
+class FpmGeometry:
+    """Geometry of the experimental system's memory.
+
+    Defaults match the paper's proof-of-concept hardware: two banks
+    with 1 Kbyte pages, 8-byte words.
+
+    Attributes:
+        num_banks: Interleaved banks.
+        page_bytes: DRAM page size per bank.
+        word_bytes: Bus transfer granularity.
+    """
+
+    num_banks: int = 2
+    page_bytes: int = 1024
+    word_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.num_banks, self.page_bytes, self.word_bytes) <= 0:
+            raise ConfigurationError("geometry fields must be positive")
+
+
+class FpmMemorySystem:
+    """Serial fast-page-mode memory with page-interleaved banks.
+
+    Each bank holds one open row; an access hitting it costs t_PC,
+    anything else costs t_RC (which includes the precharge and row
+    access of the asynchronous part).  Banks are page-interleaved:
+    consecutive pages alternate banks, so distinct vectors can occupy
+    distinct banks, and each bank remembers its own open row — the
+    property the SMC's batching exploits.
+
+    Args:
+        timing: Figure 1 family entry (fast-page-mode by default).
+        geometry: Bank/page layout.
+    """
+
+    def __init__(
+        self,
+        timing: Optional[ClassicDramTiming] = None,
+        geometry: Optional[FpmGeometry] = None,
+    ) -> None:
+        self.timing = timing or DRAM_FAMILIES["fast-page-mode"]
+        self.geometry = geometry or FpmGeometry()
+        self._open_rows: List[Optional[int]] = [None] * self.geometry.num_banks
+        self.accesses = 0
+        self.page_hits = 0
+        self.page_misses = 0
+
+    def locate(self, address: int) -> tuple:
+        """(bank, row) of a byte address under page interleaving."""
+        page = address // self.geometry.page_bytes
+        return page % self.geometry.num_banks, page // self.geometry.num_banks
+
+    def access(self, address: int, now_ns: float) -> float:
+        """Perform one word access; returns its completion time.
+
+        The system is serial: the caller passes the previous access's
+        completion time as ``now_ns``.
+        """
+        bank, row = self.locate(address)
+        self.accesses += 1
+        if self._open_rows[bank] == row:
+            self.page_hits += 1
+            return now_ns + self.timing.t_pc_ns
+        self.page_misses += 1
+        self._open_rows[bank] = row
+        return now_ns + self.timing.t_rc_ns
+
+    def reset(self) -> None:
+        """Close all pages and clear statistics."""
+        self._open_rows = [None] * self.geometry.num_banks
+        self.accesses = 0
+        self.page_hits = 0
+        self.page_misses = 0
+
+    @property
+    def attainable_bandwidth_bytes_per_sec(self) -> float:
+        """All-hits bandwidth: one word per page-mode cycle."""
+        return self.geometry.word_bytes / (self.timing.t_pc_ns * 1e-9)

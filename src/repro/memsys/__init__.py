@@ -1,0 +1,20 @@
+"""Memory-system organization: configuration, interleaving, policies."""
+
+from repro.memsys.address import AddressMap, Location
+from repro.memsys.config import (
+    ELEMENT_BYTES,
+    ELEMENTS_PER_PACKET,
+    Interleaving,
+    MemorySystemConfig,
+    PagePolicy,
+)
+
+__all__ = [
+    "AddressMap",
+    "Location",
+    "ELEMENT_BYTES",
+    "ELEMENTS_PER_PACKET",
+    "Interleaving",
+    "MemorySystemConfig",
+    "PagePolicy",
+]

@@ -1,0 +1,144 @@
+"""Address decomposition for the two interleaving schemes.
+
+A physical byte address is decomposed into a device location: (bank,
+row, column), where *column* counts DATA packets within the open row.
+The two maps implement the paper's organizations:
+
+* **Cacheline interleaving (CLI)** — successive cachelines map to
+  successive banks, so a unit-stride stream cycles through all banks
+  and a bank holds every eighth line of the stream.
+* **Page interleaving (PI)** — a whole RDRAM page maps to one bank;
+  successive pages map to successive banks, so a unit-stride stream
+  stays in one bank for a full page and crossing a page boundary means
+  switching banks.
+
+Both maps are exact bijections between byte addresses and
+(bank, row, column, byte-offset) tuples; the property-based tests
+exercise round-tripping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memsys.config import Interleaving, MemorySystemConfig
+from repro.rdram.timing import DATA_PACKET_BYTES
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A DATA-packet-granularity location on the RDRAM device.
+
+    Attributes:
+        bank: Bank index.
+        row: Row (page) index within the bank.
+        column: DATA-packet index within the row.
+    """
+
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMap:
+    """Bidirectional byte-address <-> device-location map.
+
+    Args:
+        config: The memory-system configuration; the interleaving
+            field selects the CLI or PI map.
+    """
+
+    def __init__(self, config: MemorySystemConfig) -> None:
+        self.config = config
+        geometry = config.geometry
+        self._num_banks = geometry.num_banks
+        self._page_bytes = geometry.page_bytes
+        self._rows = geometry.rows_per_bank
+        self._line_bytes = config.cacheline_bytes
+        self._packets_per_page = geometry.packets_per_page
+        self._packets_per_line = config.packets_per_cacheline
+        self._lines_per_page = geometry.page_bytes // config.cacheline_bytes
+        self._capacity = geometry.capacity_bytes
+        # On double-bank cores, adjacent banks share sense amps, so a
+        # naive interleave (bank = index mod n) would make every pair
+        # of consecutive lines/pages collide.  Permute the bank order
+        # to visit all even banks first, then all odd banks, so
+        # consecutive interleave units land two banks apart.
+        if geometry.doubled_banks:
+            evens = list(range(0, self._num_banks, 2))
+            odds = list(range(1, self._num_banks, 2))
+            self._bank_order = evens + odds
+        else:
+            self._bank_order = list(range(self._num_banks))
+        self._bank_rank = [0] * self._num_banks
+        for rank, bank in enumerate(self._bank_order):
+            self._bank_rank[bank] = rank
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total mappable bytes."""
+        return self._capacity
+
+    def decompose(self, address: int) -> Location:
+        """Map a byte address to its device location.
+
+        Raises:
+            ConfigurationError: If the address is outside the device.
+        """
+        if not 0 <= address < self._capacity:
+            raise ConfigurationError(
+                f"address {address:#x} outside device capacity "
+                f"{self._capacity:#x}"
+            )
+        if self.config.interleaving is Interleaving.CACHELINE:
+            line = address // self._line_bytes
+            bank = self._bank_order[line % self._num_banks]
+            line_in_bank = line // self._num_banks
+            row = line_in_bank // self._lines_per_page
+            line_in_row = line_in_bank % self._lines_per_page
+            packet_in_line = (address % self._line_bytes) // DATA_PACKET_BYTES
+            column = line_in_row * self._packets_per_line + packet_in_line
+        else:
+            page = address // self._page_bytes
+            bank = self._bank_order[page % self._num_banks]
+            row = page // self._num_banks
+            column = (address % self._page_bytes) // DATA_PACKET_BYTES
+        return Location(bank=bank, row=row, column=column)
+
+    def compose(self, location: Location, byte_offset: int = 0) -> int:
+        """Map a device location (plus a byte offset within its DATA
+        packet) back to the byte address.
+
+        Raises:
+            ConfigurationError: If any coordinate is out of range.
+        """
+        if not 0 <= location.bank < self._num_banks:
+            raise ConfigurationError(f"bank {location.bank} out of range")
+        if not 0 <= location.row < self._rows:
+            raise ConfigurationError(f"row {location.row} out of range")
+        if not 0 <= location.column < self._packets_per_page:
+            raise ConfigurationError(f"column {location.column} out of range")
+        if not 0 <= byte_offset < DATA_PACKET_BYTES:
+            raise ConfigurationError(f"byte offset {byte_offset} out of range")
+        rank = self._bank_rank[location.bank]
+        if self.config.interleaving is Interleaving.CACHELINE:
+            line_in_row = location.column // self._packets_per_line
+            packet_in_line = location.column % self._packets_per_line
+            line_in_bank = location.row * self._lines_per_page + line_in_row
+            line = line_in_bank * self._num_banks + rank
+            return (
+                line * self._line_bytes
+                + packet_in_line * DATA_PACKET_BYTES
+                + byte_offset
+            )
+        page = location.row * self._num_banks + rank
+        return (
+            page * self._page_bytes
+            + location.column * DATA_PACKET_BYTES
+            + byte_offset
+        )
+
+    def bank_of(self, address: int) -> int:
+        """Bank holding ``address`` (convenience for placement logic)."""
+        return self.decompose(address).bank

@@ -1,0 +1,129 @@
+"""Memory-system configuration shared by all controllers.
+
+Bundles the RDRAM device parameters with the system-level choices the
+paper varies: the interleaving scheme, the page-management policy, and
+the cacheline size.  Validates the divisibility assumptions of
+Section 4.1: the cacheline size is an integer multiple of the DATA
+packet size, and the RDRAM page size is an integer multiple of the
+cacheline size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from repro.errors import ConfigurationError
+from repro.rdram.device import RdramGeometry
+from repro.rdram.timing import DATA_PACKET_BYTES, RdramTiming
+
+#: Streams are composed of 64-bit elements throughout the paper.
+ELEMENT_BYTES = 8
+
+#: Elements per DATA packet (the paper's w_p): two 64-bit words fit in
+#: one 128-bit DATA packet.
+ELEMENTS_PER_PACKET = DATA_PACKET_BYTES // ELEMENT_BYTES
+
+
+class Interleaving(enum.Enum):
+    """How contiguous addresses are spread across RDRAM banks.
+
+    CACHELINE (the paper's CLI): successive cachelines reside in
+    different banks.  PAGE (the paper's PI): a whole RDRAM page maps to
+    one bank, so crossing a page boundary means switching banks.
+    """
+
+    CACHELINE = "cli"
+    PAGE = "pi"
+
+
+class PagePolicy(enum.Enum):
+    """Sense-amp management after a burst of accesses to a bank.
+
+    CLOSED precharges after every access burst — best when successive
+    accesses go to different pages.  OPEN leaves the sense amps
+    unprecharged — best when successive accesses hit the same page.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+
+@dataclass(frozen=True)
+class MemorySystemConfig:
+    """Complete configuration of the modeled memory system.
+
+    The paper evaluates two pairings — CLI with a closed-page policy
+    and PI with an open-page policy — but any combination can be
+    constructed for ablation studies.
+
+    Attributes:
+        timing: Direct RDRAM timing parameters.
+        geometry: Device geometry (banks, page size, rows).
+        interleaving: Bank interleaving scheme.
+        page_policy: Sense-amp management policy.
+        cacheline_bytes: Cacheline size used by natural-order accesses.
+    """
+
+    timing: RdramTiming = field(default_factory=RdramTiming)
+    geometry: RdramGeometry = field(default_factory=RdramGeometry)
+    interleaving: Interleaving = Interleaving.CACHELINE
+    page_policy: PagePolicy = PagePolicy.CLOSED
+    cacheline_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.cacheline_bytes % DATA_PACKET_BYTES:
+            raise ConfigurationError(
+                "cacheline size must be an integer multiple of the DATA "
+                f"packet size: {self.cacheline_bytes} % {DATA_PACKET_BYTES} != 0"
+            )
+        if self.geometry.page_bytes % self.cacheline_bytes:
+            raise ConfigurationError(
+                "RDRAM page size must be an integer multiple of the "
+                f"cacheline size: {self.geometry.page_bytes} % "
+                f"{self.cacheline_bytes} != 0"
+            )
+
+    @classmethod
+    def cli(cls, **overrides) -> "MemorySystemConfig":
+        """The paper's CLI system: cacheline interleave, closed pages."""
+        overrides.setdefault("interleaving", Interleaving.CACHELINE)
+        overrides.setdefault("page_policy", PagePolicy.CLOSED)
+        return cls(**overrides)
+
+    @classmethod
+    def pi(cls, **overrides) -> "MemorySystemConfig":
+        """The paper's PI system: page interleave, open pages."""
+        overrides.setdefault("interleaving", Interleaving.PAGE)
+        overrides.setdefault("page_policy", PagePolicy.OPEN)
+        return cls(**overrides)
+
+    # -- derived quantities the paper's equations use -------------------
+
+    @property
+    def elements_per_cacheline(self) -> int:
+        """The paper's L_c: 64-bit words per cacheline."""
+        return self.cacheline_bytes // ELEMENT_BYTES
+
+    @property
+    def elements_per_page(self) -> int:
+        """The paper's L_P: 64-bit words per RDRAM page."""
+        return self.geometry.page_bytes // ELEMENT_BYTES
+
+    @property
+    def packets_per_cacheline(self) -> int:
+        """DATA packets needed to move one cacheline."""
+        return self.cacheline_bytes // DATA_PACKET_BYTES
+
+    @property
+    def cachelines_per_page(self) -> int:
+        """Cachelines held by one RDRAM page."""
+        return self.geometry.page_bytes // self.cacheline_bytes
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the organization."""
+        return (
+            f"{self.interleaving.value.upper()} / {self.page_policy.value}-page, "
+            f"{self.geometry.num_banks} banks, "
+            f"{self.geometry.page_bytes} B pages, "
+            f"{self.cacheline_bytes} B lines"
+        )

@@ -1,0 +1,6 @@
+"""Baseline: traditional natural-order cacheline memory controller."""
+
+from repro.naturalorder.controller import MAX_OUTSTANDING, NaturalOrderController
+from repro.naturalorder.random_driver import RandomAccessDriver
+
+__all__ = ["MAX_OUTSTANDING", "NaturalOrderController", "RandomAccessDriver"]

@@ -1,0 +1,229 @@
+"""Traditional memory controller: cacheline accesses in program order.
+
+This simulates the paper's baseline — "cacheline accesses in the
+natural order of the computation" — against the same RDRAM device
+model the SMC uses, giving an independent check on the Section 5.1
+analytic bounds.
+
+The model follows Figure 5's conventions:
+
+* The processor walks the kernel's accesses element by element; the
+  first touch of each cacheline generates one line-granularity
+  transaction (a fill for loads, a full-line write for stores —
+  dirty-writeback traffic is ignored, Section 5.1).
+* Transactions issue strictly in program order, pipelined across the
+  device's banks: the controller may begin a transaction's commands as
+  soon as the previous transaction's first command went out, and the
+  device model enforces t_RR spacing, bus occupancy and bank timing.
+* Linefill forwarding (as in the PowerPC the paper cites): a dependent
+  store may be initiated as soon as the first DATA packet of its
+  iteration's last load arrives — t_RAC after the load's ROW request
+  on a closed-page system.
+* At most four transactions are outstanding, matching the Direct
+  RDRAM's pipeline depth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cpu.kernels import Kernel
+from repro.cpu.streams import (
+    Alignment,
+    Direction,
+    StreamDescriptor,
+    place_streams,
+)
+from repro.memsys.address import AddressMap
+from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig, PagePolicy
+from repro.rdram.channel import make_memory
+from repro.rdram.packets import BusDirection
+from repro.sim.results import SimulationResult
+
+#: The Direct RDRAM's pipelined microarchitecture "supports up to four
+#: outstanding requests" (Section 2.2).
+MAX_OUTSTANDING = 4
+
+
+class NaturalOrderController:
+    """Blocking-order cacheline controller over one RDRAM device.
+
+    Args:
+        config: Memory organization; CLI pairs with the closed-page
+            policy and PI with open-page, as in the paper, but any
+            pairing given in the config is honored.
+        record_trace: Record the device packet trace for auditing.
+    """
+
+    def __init__(
+        self, config: MemorySystemConfig, record_trace: bool = False
+    ) -> None:
+        self.config = config
+        self.device = make_memory(
+            timing=config.timing,
+            geometry=config.geometry,
+            record_trace=record_trace,
+        )
+        self.address_map = AddressMap(config)
+
+    def run(
+        self,
+        kernel: Kernel,
+        length: int,
+        stride: int = 1,
+        alignment: Alignment = Alignment.STAGGERED,
+        descriptors: Optional[List[StreamDescriptor]] = None,
+    ) -> SimulationResult:
+        """Execute one kernel and report effective bandwidth.
+
+        Args:
+            kernel: The inner loop.
+            length: Vector length in elements.
+            stride: Stride in elements.
+            alignment: Vector base placement.
+            descriptors: Pre-placed streams overriding placement.
+
+        Returns:
+            The result; ``useful_bytes`` counts stream elements only,
+            so sparse strides show the paper's bandwidth collapse even
+            though whole lines move on the bus.
+        """
+        self.device.reset()
+        if descriptors is None:
+            descriptors = place_streams(
+                kernel.streams,
+                self.config,
+                length=length,
+                stride=stride,
+                alignment=alignment,
+            )
+        line_bytes = self.config.cacheline_bytes
+        closed_page = self.config.page_policy is PagePolicy.CLOSED
+
+        current_line: Dict[str, Optional[int]] = {
+            d.name: None for d in descriptors
+        }
+        # First-data arrival time of each read stream's current line,
+        # for the store dependence (linefill forwarding).
+        line_first_data: Dict[str, int] = {d.name: 0 for d in descriptors}
+        outstanding: Deque[int] = deque()
+        program_clock = 0
+        last_data_end = 0
+        first_data: Optional[int] = None
+        transactions = 0
+        conflicts = 0
+
+        for index in range(length):
+            for descriptor in descriptors:
+                address = descriptor.element_address(index)
+                line = address // line_bytes
+                if line == current_line[descriptor.name]:
+                    continue
+                current_line[descriptor.name] = line
+                start_at = program_clock
+                if descriptor.direction is Direction.WRITE:
+                    dependence = max(
+                        (
+                            line_first_data[d.name]
+                            for d in descriptors
+                            if d.direction is Direction.READ
+                        ),
+                        default=0,
+                    )
+                    start_at = max(start_at, dependence)
+                if len(outstanding) >= MAX_OUTSTANDING:
+                    start_at = max(start_at, outstanding.popleft())
+                issued = self._issue_line(
+                    line * line_bytes, descriptor.direction, start_at,
+                    closed_page,
+                )
+                first_cmd, first_arrival, data_end, had_conflict = issued
+                transactions += 1
+                conflicts += int(had_conflict)
+                program_clock = max(program_clock, first_cmd)
+                last_data_end = max(last_data_end, data_end)
+                if descriptor.direction is Direction.READ:
+                    line_first_data[descriptor.name] = first_arrival
+                    if first_data is None:
+                        first_data = first_arrival
+                outstanding.append(data_end)
+
+        useful = len(descriptors) * length * ELEMENT_BYTES
+        return SimulationResult(
+            kernel=kernel.name,
+            organization=self.config.describe(),
+            length=length,
+            stride=stride,
+            fifo_depth=0,
+            alignment=alignment.value,
+            policy="natural-order",
+            cycles=last_data_end,
+            useful_bytes=useful,
+            transferred_bytes=self.device.bytes_transferred,
+            startup_cycles=first_data or 0,
+            packets_issued=transactions * self.config.packets_per_cacheline,
+            bank_conflicts=conflicts,
+        )
+
+    def _issue_line(
+        self,
+        line_address: int,
+        direction: Direction,
+        start_at: int,
+        closed_page: bool,
+    ) -> Tuple[int, int, int, bool]:
+        """Issue one full-cacheline transaction.
+
+        Returns:
+            (first command start, first DATA packet start, last DATA
+            packet end, whether a bank conflict forced a precharge).
+        """
+        packets = self.config.packets_per_cacheline
+        bus_dir = (
+            BusDirection.READ
+            if direction is Direction.READ
+            else BusDirection.WRITE
+        )
+        first_cmd: Optional[int] = None
+        first_arrival = 0
+        data_end = 0
+        had_conflict = False
+        for offset in range(packets):
+            location = self.address_map.decompose(line_address + offset * 16)
+            bank = self.device.bank(location.bank)
+            if bank.open_row != location.row:
+                if bank.is_open:
+                    had_conflict = True
+                    prer = self.device.issue_prer(location.bank, start_at)
+                    if first_cmd is None:
+                        first_cmd = prer.start
+                for neighbor in self.device.geometry.neighbors(location.bank):
+                    # Double-bank cores: adjacent open banks share the
+                    # sense amps and must be precharged first.
+                    if self.device.bank(neighbor).is_open:
+                        had_conflict = True
+                        prer = self.device.issue_prer(neighbor, start_at)
+                        if first_cmd is None:
+                            first_cmd = prer.start
+                act = self.device.issue_act(
+                    location.bank, location.row, start_at
+                )
+                if first_cmd is None:
+                    first_cmd = act.start
+            precharge = closed_page and offset == packets - 1
+            access = self.device.issue_col(
+                location.bank,
+                location.row,
+                location.column,
+                start_at,
+                bus_dir,
+                precharge=precharge,
+            )
+            if first_cmd is None:
+                first_cmd = access.col.start
+            if offset == 0:
+                first_arrival = access.data.start
+            data_end = access.data.end
+        assert first_cmd is not None
+        return first_cmd, first_arrival, data_end, had_conflict

@@ -1,0 +1,64 @@
+"""Direct RDRAM device substrate.
+
+Everything needed to model a single Direct Rambus DRAM at the level the
+paper analyzes it: datasheet timing parameters (Figures 1 and 2), the
+per-bank sense-amp state machine, the packetized channel model with an
+earliest-legal-issue interface, and an independent protocol auditor.
+"""
+
+from repro.rdram.audit import AuditReport, audit_trace
+from repro.rdram.bank import Bank
+from repro.rdram.channel import ChannelGeometry, RambusChannel, make_memory
+from repro.rdram.device import RdramDevice, RdramGeometry, ScheduledAccess
+from repro.rdram.refresh import DEFAULT_INTERVAL_CYCLES, RefreshEngine
+from repro.rdram.tracefmt import render_trace, render_trace_wrapped
+from repro.rdram.packets import (
+    BusDirection,
+    ColCommand,
+    ColPacket,
+    DataPacket,
+    RowCommand,
+    RowPacket,
+)
+from repro.rdram.timing import (
+    BYTES_PER_CYCLE_PEAK,
+    DATA_PACKET_BYTES,
+    DEFAULT_TIMING,
+    DRAM_FAMILIES,
+    INTERFACE_CLOCK_MHZ,
+    PEAK_BANDWIDTH_BYTES_PER_SEC,
+    ClassicDramTiming,
+    RdramTiming,
+    figure2_rows,
+)
+
+__all__ = [
+    "AuditReport",
+    "audit_trace",
+    "Bank",
+    "ChannelGeometry",
+    "RambusChannel",
+    "make_memory",
+    "RdramDevice",
+    "RdramGeometry",
+    "ScheduledAccess",
+    "DEFAULT_INTERVAL_CYCLES",
+    "RefreshEngine",
+    "render_trace",
+    "render_trace_wrapped",
+    "BusDirection",
+    "ColCommand",
+    "ColPacket",
+    "DataPacket",
+    "RowCommand",
+    "RowPacket",
+    "BYTES_PER_CYCLE_PEAK",
+    "DATA_PACKET_BYTES",
+    "DEFAULT_TIMING",
+    "DRAM_FAMILIES",
+    "INTERFACE_CLOCK_MHZ",
+    "PEAK_BANDWIDTH_BYTES_PER_SEC",
+    "ClassicDramTiming",
+    "RdramTiming",
+    "figure2_rows",
+]

@@ -1,0 +1,141 @@
+"""Per-bank sense-amp state machine for a Direct RDRAM device.
+
+Each of the device's independent banks tracks which row (page) its
+sense amplifiers currently hold and the timestamps needed to enforce
+the bank-local datasheet constraints:
+
+* t_RC  — minimum spacing of ACT packets to the same bank,
+* t_RCD — ACT to first COL packet,
+* t_RAS — ACT to PRER,
+* t_RP  — PRER to next ACT,
+* t_CPOL — maximum overlap of the last COL packet with PRER.
+
+Bus-level constraints (packet bus exclusivity, t_RR between ROW
+packets, data-bus turnaround) are enforced by the device, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.rdram.timing import RdramTiming
+
+#: Timestamp value meaning "never happened"; far enough in the past
+#: that no constraint measured from it can bind.
+NEVER = -(10**9)
+
+
+@dataclass
+class Bank:
+    """State of one RDRAM bank and its sense amplifiers.
+
+    Attributes:
+        index: Bank number on the device.
+        timing: Timing parameters shared with the device.
+        open_row: Row currently held in the sense amps, or None if the
+            bank is precharged (closed).
+    """
+
+    index: int
+    timing: RdramTiming
+    open_row: Optional[int] = None
+    _last_act_start: int = field(default=NEVER, repr=False)
+    _last_prer_start: int = field(default=NEVER, repr=False)
+    _last_col_end: int = field(default=NEVER, repr=False)
+
+    @property
+    def is_open(self) -> bool:
+        """True if a row is held in the sense amps."""
+        return self.open_row is not None
+
+    @property
+    def last_prer_start(self) -> int:
+        """Start cycle of the most recent precharge (NEVER if none).
+
+        Exposed for double-bank cores, where a neighbor's activate must
+        honor t_RP from this bank's precharge (shared sense-amp strip).
+        """
+        return self._last_prer_start
+
+    def earliest_act(self, now: int) -> int:
+        """Earliest cycle >= now at which an ACT packet may start.
+
+        The bank must be closed; ACT must follow the previous PRER by
+        t_RP and the previous ACT by t_RC.
+        """
+        if self.is_open:
+            raise ProtocolError(
+                f"bank {self.index}: ACT while row {self.open_row} is open; "
+                "precharge first"
+            )
+        earliest = max(
+            now,
+            self._last_prer_start + self.timing.t_rp,
+            self._last_act_start + self.timing.t_rc,
+        )
+        return earliest
+
+    def earliest_col(self, now: int, row: int) -> int:
+        """Earliest cycle >= now at which a COL packet may start.
+
+        The requested row must be the open row, and the COL packet must
+        follow the opening ACT by t_RCD.
+        """
+        if self.open_row != row:
+            raise ProtocolError(
+                f"bank {self.index}: COL to row {row} but open row is "
+                f"{self.open_row}"
+            )
+        return max(now, self._last_act_start + self.timing.t_rcd)
+
+    def earliest_prer(self, now: int) -> int:
+        """Earliest cycle >= now at which a PRER packet may start.
+
+        PRER must follow the opening ACT by t_RAS and may overlap the
+        last COL packet by at most t_CPOL cycles.
+        """
+        if not self.is_open:
+            raise ProtocolError(f"bank {self.index}: PRER while closed")
+        return max(
+            now,
+            self._last_act_start + self.timing.t_ras,
+            self._last_col_end - self.timing.t_cpol,
+        )
+
+    def apply_act(self, start: int, row: int) -> None:
+        """Record an ACT packet starting at ``start`` opening ``row``."""
+        legal = self.earliest_act(start)
+        if start < legal:
+            raise ProtocolError(
+                f"bank {self.index}: ACT at {start} before legal cycle {legal}"
+            )
+        self.open_row = row
+        self._last_act_start = start
+
+    def apply_col(self, start: int, row: int) -> None:
+        """Record a COL packet (RD or WR) starting at ``start``."""
+        legal = self.earliest_col(start, row)
+        if start < legal:
+            raise ProtocolError(
+                f"bank {self.index}: COL at {start} before legal cycle {legal}"
+            )
+        self._last_col_end = start + self.timing.t_pack
+
+    def apply_prer(self, start: int) -> None:
+        """Record a PRER packet starting at ``start`` closing the bank."""
+        legal = self.earliest_prer(start)
+        if start < legal:
+            raise ProtocolError(
+                f"bank {self.index}: PRER at {start} before legal cycle {legal}"
+            )
+        self.open_row = None
+        self._last_prer_start = start
+
+    def reset(self) -> None:
+        """Return the bank to its power-on (closed, unconstrained) state."""
+        self.open_row = None
+        self._last_act_start = NEVER
+        self._last_prer_start = NEVER
+        self._last_col_end = NEVER

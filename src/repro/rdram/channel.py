@@ -1,0 +1,354 @@
+"""A Rambus channel holding multiple Direct RDRAM devices.
+
+The paper evaluates "a memory system composed of a single Direct
+RDRAM device" and notes that Crisp's reported 95 % efficiency came
+from "a system with many devices" under more random access patterns
+(Section 6).  This module models that fuller system: up to 32 devices
+share one channel — one ROW bus, one COL bus, one dual-edge DATA bus —
+while each device keeps its own banks, sense amps, write buffer and
+per-device t_RR constraint.
+
+:class:`RambusChannel` exposes the same interface as
+:class:`~repro.rdram.device.RdramDevice` with *global* bank indices
+(device d's bank b is global index ``d * banks_per_device + b``), so
+every controller in the library — the SMC and the natural-order
+baseline — runs unmodified against a channel; pair it with a
+:class:`ChannelGeometry` in the memory-system configuration and the
+address map spreads interleave units across all devices' banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rdram.bank import NEVER, Bank
+from repro.rdram.device import RdramGeometry, ScheduledAccess
+from repro.rdram.packets import (
+    BusDirection,
+    ColCommand,
+    ColPacket,
+    DataPacket,
+    RowCommand,
+    RowPacket,
+)
+from repro.rdram.timing import DATA_PACKET_BYTES, RdramTiming
+
+
+@dataclass(frozen=True)
+class ChannelGeometry:
+    """Geometry of a multi-device channel, in global bank indices.
+
+    Duck-compatible with :class:`~repro.rdram.device.RdramGeometry`
+    wherever the library needs ``num_banks`` / ``page_bytes`` /
+    ``rows_per_bank`` / ``capacity_bytes`` / ``packets_per_page`` /
+    ``neighbors``; the double-bank adjacency never crosses a device
+    boundary.
+
+    Attributes:
+        num_devices: RDRAM devices on the channel (a Direct Rambus
+            channel supports up to 32).
+        device: Per-device geometry.
+    """
+
+    num_devices: int = 4
+    device: RdramGeometry = field(default_factory=RdramGeometry)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_devices <= 32:
+            raise ConfigurationError(
+                "a Rambus channel holds 1 to 32 devices, got "
+                f"{self.num_devices}"
+            )
+
+    @property
+    def num_banks(self) -> int:
+        """Global bank count across all devices."""
+        return self.num_devices * self.device.num_banks
+
+    @property
+    def page_bytes(self) -> int:
+        return self.device.page_bytes
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.device.rows_per_bank
+
+    @property
+    def doubled_banks(self) -> bool:
+        return self.device.doubled_banks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_devices * self.device.capacity_bytes
+
+    @property
+    def packets_per_page(self) -> int:
+        return self.device.packets_per_page
+
+    def device_of(self, global_bank: int) -> int:
+        """Device index owning a global bank."""
+        return global_bank // self.device.num_banks
+
+    def local_bank(self, global_bank: int) -> int:
+        """Bank index within its device."""
+        return global_bank % self.device.num_banks
+
+    def neighbors(self, global_bank: int) -> Tuple[int, ...]:
+        """Sense-amp-sharing neighbors, never crossing devices."""
+        base = global_bank - self.local_bank(global_bank)
+        return tuple(
+            base + local
+            for local in self.device.neighbors(self.local_bank(global_bank))
+        )
+
+
+def make_memory(
+    timing: Optional[RdramTiming] = None,
+    geometry=None,
+    record_trace: bool = True,
+    explicit_retire: bool = False,
+):
+    """Build the right memory model for a geometry.
+
+    A :class:`ChannelGeometry` yields a :class:`RambusChannel`; an
+    :class:`~repro.rdram.device.RdramGeometry` (or None) yields a
+    single :class:`~repro.rdram.device.RdramDevice`.  Controllers are
+    agnostic — both expose the same interface.
+    """
+    from repro.rdram.device import RdramDevice
+
+    if isinstance(geometry, ChannelGeometry):
+        return RambusChannel(
+            timing=timing,
+            geometry=geometry,
+            record_trace=record_trace,
+            explicit_retire=explicit_retire,
+        )
+    return RdramDevice(
+        timing=timing,
+        geometry=geometry,
+        record_trace=record_trace,
+        explicit_retire=explicit_retire,
+    )
+
+
+class RambusChannel:
+    """Multiple RDRAM devices behind the RdramDevice interface.
+
+    All bus-level state (packet bus exclusivity, data-bus turnaround,
+    write-buffer retire) is channel-global; bank state and the t_RR
+    row-packet spacing are per device, which is exactly what lets a
+    many-device channel hide single-device dead time under random
+    loads.
+
+    Args:
+        timing: Channel/device timing parameters.
+        geometry: Channel geometry (device count x per-device layout).
+        record_trace: Record all packets for auditing.
+        explicit_retire: Model write-buffer retires as COL RET packets.
+    """
+
+    def __init__(
+        self,
+        timing: Optional[RdramTiming] = None,
+        geometry: Optional[ChannelGeometry] = None,
+        record_trace: bool = True,
+        explicit_retire: bool = False,
+    ) -> None:
+        self.timing = timing or RdramTiming()
+        self.geometry = geometry or ChannelGeometry()
+        self.record_trace = record_trace
+        self.explicit_retire = explicit_retire
+        self.banks: List[Bank] = [
+            Bank(index=i, timing=self.timing)
+            for i in range(self.geometry.num_banks)
+        ]
+        self.trace: List[object] = []
+        self._row_bus_free = 0
+        self._col_bus_free = 0
+        self._data_bus_free = 0
+        self._last_act_by_device = [NEVER] * self.geometry.num_devices
+        self._last_write_data_end = NEVER
+        self._last_data_dir: Optional[BusDirection] = None
+        self._data_packets_moved = 0
+        self._retire_pending = False
+
+    # ------------------------------------------------------------------
+    # queries (RdramDevice interface)
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total bytes moved on the shared DATA bus."""
+        return self._data_packets_moved * DATA_PACKET_BYTES
+
+    def bank(self, index: int) -> Bank:
+        """Global bank ``index`` (bounds-checked)."""
+        if not 0 <= index < self.geometry.num_banks:
+            raise ProtocolError(
+                f"global bank {index} out of range "
+                f"0..{self.geometry.num_banks - 1}"
+            )
+        return self.banks[index]
+
+    def earliest_act(self, bank: int, now: int) -> int:
+        """First legal ACT start: bank rules, t_RR within the owning
+        device, shared ROW bus, and double-bank adjacency."""
+        device = self.geometry.device_of(bank)
+        earliest = max(
+            self.bank(bank).earliest_act(now),
+            self._row_bus_free,
+            self._last_act_by_device[device] + self.timing.t_rr,
+        )
+        for neighbor in self.geometry.neighbors(bank):
+            neighbor_bank = self.banks[neighbor]
+            if neighbor_bank.is_open:
+                raise ProtocolError(
+                    f"bank {bank}: ACT while adjacent bank {neighbor} is "
+                    "open (shared sense amps on a double-bank core)"
+                )
+            earliest = max(
+                earliest, neighbor_bank.last_prer_start + self.timing.t_rp
+            )
+        return earliest
+
+    def earliest_prer(self, bank: int, now: int) -> int:
+        """First legal PRER start (bank rules, shared ROW bus)."""
+        return max(self.bank(bank).earliest_prer(now), self._row_bus_free)
+
+    def earliest_col(
+        self, bank: int, row: int, now: int, direction: BusDirection
+    ) -> int:
+        """First legal COL start (bank rules, shared COL/DATA buses,
+        channel-global turnaround and retire slot)."""
+        delay = (
+            self.timing.read_data_delay()
+            if direction is BusDirection.READ
+            else self.timing.write_data_delay()
+        )
+        col_bus_free = self._col_bus_free
+        if (
+            direction is BusDirection.READ
+            and self.explicit_retire
+            and self._retire_pending
+        ):
+            col_bus_free += self.timing.t_pack
+        start = max(self.bank(bank).earliest_col(now, row), col_bus_free)
+        data_start = max(start + delay, self._data_bus_free)
+        if direction is BusDirection.READ and self._last_data_dir is BusDirection.WRITE:
+            data_start = max(
+                data_start, self._last_write_data_end + self.timing.t_rw
+            )
+        return data_start - delay
+
+    # ------------------------------------------------------------------
+    # issue operations (RdramDevice interface)
+
+    def issue_act(self, bank: int, row: int, now: int) -> RowPacket:
+        """Issue a ROW ACT on the shared row bus."""
+        if not 0 <= row < self.geometry.rows_per_bank:
+            raise ProtocolError(
+                f"row {row} out of range 0..{self.geometry.rows_per_bank - 1}"
+            )
+        start = self.earliest_act(bank, now)
+        self.bank(bank).apply_act(start, row)
+        self._row_bus_free = start + self.timing.t_pack
+        self._last_act_by_device[self.geometry.device_of(bank)] = start
+        packet = RowPacket(command=RowCommand.ACT, bank=bank, row=row, start=start)
+        if self.record_trace:
+            self.trace.append(packet)
+        return packet
+
+    def issue_prer(self, bank: int, now: int) -> RowPacket:
+        """Issue a ROW PRER on the shared row bus."""
+        start = self.earliest_prer(bank, now)
+        self.bank(bank).apply_prer(start)
+        self._row_bus_free = start + self.timing.t_pack
+        packet = RowPacket(command=RowCommand.PRER, bank=bank, row=None, start=start)
+        if self.record_trace:
+            self.trace.append(packet)
+        return packet
+
+    def issue_col(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        now: int,
+        direction: BusDirection,
+        precharge: bool = False,
+    ) -> ScheduledAccess:
+        """Issue a COL RD/WR moving one DATA packet on the shared bus."""
+        if not 0 <= column < self.geometry.packets_per_page:
+            raise ProtocolError(
+                f"column {column} out of range "
+                f"0..{self.geometry.packets_per_page - 1}"
+            )
+        start = self.earliest_col(bank, row, now, direction)
+        if (
+            direction is BusDirection.READ
+            and self.explicit_retire
+            and self._retire_pending
+        ):
+            retire = ColPacket(
+                command=ColCommand.RET,
+                bank=bank,
+                row=row,
+                column=0,
+                start=start - self.timing.t_pack,
+            )
+            if self.record_trace:
+                self.trace.append(retire)
+            self._retire_pending = False
+        bank_obj = self.bank(bank)
+        bank_obj.apply_col(start, row)
+        self._col_bus_free = start + self.timing.t_pack
+        delay = (
+            self.timing.read_data_delay()
+            if direction is BusDirection.READ
+            else self.timing.write_data_delay()
+        )
+        data_start = start + delay
+        data = DataPacket(
+            direction=direction, bank=bank, start=data_start, source_col_start=start
+        )
+        self._data_bus_free = data_start + self.timing.t_pack
+        self._last_data_dir = direction
+        if direction is BusDirection.WRITE:
+            self._last_write_data_end = data_start + self.timing.t_pack
+            self._retire_pending = True
+        self._data_packets_moved += 1
+        cmd = ColCommand.RD if direction is BusDirection.READ else ColCommand.WR
+        col = ColPacket(command=cmd, bank=bank, row=row, column=column, start=start)
+        if self.record_trace:
+            self.trace.append(col)
+            self.trace.append(data)
+        if precharge:
+            prer_start = bank_obj.earliest_prer(start)
+            bank_obj.apply_prer(prer_start)
+            if self.record_trace:
+                self.trace.append(
+                    RowPacket(
+                        command=RowCommand.PRER,
+                        bank=bank,
+                        row=None,
+                        start=prer_start,
+                        via_col=True,
+                    )
+                )
+        return ScheduledAccess(col=col, data=data, precharged=precharge)
+
+    def reset(self) -> None:
+        """Return the channel and all devices to the power-on state."""
+        for bank in self.banks:
+            bank.reset()
+        self.trace.clear()
+        self._row_bus_free = 0
+        self._col_bus_free = 0
+        self._data_bus_free = 0
+        self._last_act_by_device = [NEVER] * self.geometry.num_devices
+        self._last_write_data_end = NEVER
+        self._last_data_dir = None
+        self._data_packets_moved = 0
+        self._retire_pending = False

@@ -1,0 +1,375 @@
+"""Cycle-level model of a single Direct RDRAM device.
+
+The device owns three channel resources — the ROW command bus, the COL
+command bus, and the dual-edge DATA bus — plus eight independent banks
+of sense amplifiers.  Controllers drive it through an
+*earliest-legal-issue* interface: for each command the device computes
+the first cycle at or after the requested cycle at which every
+datasheet constraint is satisfied, reserves the buses, updates bank
+state, and returns the scheduled packet.
+
+Constraints enforced here (bank-local rules live in
+:mod:`repro.rdram.bank`):
+
+* each sub-bus carries one packet per t_PACK window,
+* t_RR between consecutive ROW ACT packets anywhere on the device,
+* read DATA follows its COL RD by t_CAC + t_RDLY; write DATA follows
+  its COL WR by t_CAC (no round-trip delay for writes),
+* cycling the DATA bus from write back to read inserts the t_RW
+  turnaround, which folds in the write-buffer retire packet
+  (Section 5 of the paper: "we combine these two latencies into t_RW"),
+* a COL packet may carry a precharge flag, modeling the Direct RDRAM's
+  ability to initiate a precharge from a COL packet ("COL packets may
+  also initiate a precharge operation") so that closed-page policies do
+  not consume ROW-bus bandwidth for every PRER.
+
+The paper's modeling simplifications are honored: no refresh engine,
+and write-buffer retires appear only through t_RW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.rdram.bank import NEVER, Bank
+from repro.rdram.packets import (
+    BusDirection,
+    ColCommand,
+    ColPacket,
+    DataPacket,
+    RowCommand,
+    RowPacket,
+)
+from repro.rdram.timing import DATA_PACKET_BYTES, RdramTiming
+
+
+@dataclass(frozen=True)
+class RdramGeometry:
+    """Physical geometry of one RDRAM device.
+
+    Defaults model the paper's 64 Mbit part: eight independent banks
+    with 1 Kbyte pages (128 64-bit words per page).
+
+    Some RDRAM cores use a "double bank" architecture (Section 2.2):
+    sixteen banks whose adjacent pairs share sense-amplifier strips, so
+    "two adjacent banks cannot be accessed simultaneously, making the
+    total number of independent banks effectively eight".  Set
+    ``doubled_banks=True`` (typically with ``num_banks=16``) to model
+    that: activating a bank then requires both neighbors to be
+    precharged, and the activate additionally honors t_RP measured
+    from a neighbor's precharge (the shared strip must settle).
+
+    Attributes:
+        num_banks: Banks on the device.
+        page_bytes: Sense-amp (page) size per bank, in bytes.
+        rows_per_bank: Number of rows (pages) per bank.
+        doubled_banks: Adjacent banks share sense amps.
+    """
+
+    num_banks: int = 8
+    page_bytes: int = 1024
+    rows_per_bank: int = 1024
+    doubled_banks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0 or self.page_bytes <= 0 or self.rows_per_bank <= 0:
+            raise ConfigurationError("geometry fields must be positive")
+        if self.page_bytes % DATA_PACKET_BYTES:
+            raise ConfigurationError(
+                "page size must be a whole number of DATA packets: "
+                f"{self.page_bytes} % {DATA_PACKET_BYTES} != 0"
+            )
+        if self.doubled_banks and self.num_banks < 2:
+            raise ConfigurationError(
+                "a double-bank core needs at least two banks"
+            )
+
+    def neighbors(self, bank: int) -> Tuple[int, ...]:
+        """Banks sharing sense amps with ``bank`` (double-bank cores).
+
+        Adjacent pairs share a strip, so bank k neighbors k-1 and k+1
+        within the device (no wraparound: the outermost strips are
+        dedicated).
+        """
+        if not self.doubled_banks:
+            return ()
+        candidates = (bank - 1, bank + 1)
+        return tuple(b for b in candidates if 0 <= b < self.num_banks)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total device capacity."""
+        return self.num_banks * self.page_bytes * self.rows_per_bank
+
+    @property
+    def packets_per_page(self) -> int:
+        """DATA packets held by one page."""
+        return self.page_bytes // DATA_PACKET_BYTES
+
+
+@dataclass
+class ScheduledAccess:
+    """Result of issuing a column access.
+
+    Attributes:
+        col: The COL command packet as scheduled.
+        data: The DATA packet the access produces or consumes.
+        precharged: True if the COL packet carried a precharge flag.
+    """
+
+    col: ColPacket
+    data: DataPacket
+    precharged: bool
+
+
+class RdramDevice:
+    """One Direct RDRAM device on a Rambus channel.
+
+    Args:
+        timing: Datasheet timing parameters.
+        geometry: Bank/page geometry.
+        record_trace: When True (default) every scheduled packet is
+            appended to :attr:`trace` for auditing and timeline
+            rendering.  Disable for long benchmark sweeps.
+    """
+
+    def __init__(
+        self,
+        timing: Optional[RdramTiming] = None,
+        geometry: Optional[RdramGeometry] = None,
+        record_trace: bool = True,
+        explicit_retire: bool = False,
+    ) -> None:
+        self.timing = timing or RdramTiming()
+        self.geometry = geometry or RdramGeometry()
+        self.record_trace = record_trace
+        #: When True, the write-buffer retire is modeled as an explicit
+        #: COL RET packet occupying the COL bus between the last WR and
+        #: the next RD, instead of being folded into t_RW alone.  Both
+        #: models yield identical data timing (t_RW = t_PACK + t_RDLY);
+        #: the explicit form additionally consumes a COL-bus slot, as
+        #: the real protocol does.
+        self.explicit_retire = explicit_retire
+        self._retire_pending = False
+        self.banks: List[Bank] = [
+            Bank(index=i, timing=self.timing) for i in range(self.geometry.num_banks)
+        ]
+        self.trace: List[object] = []
+        self._row_bus_free = 0
+        self._col_bus_free = 0
+        self._data_bus_free = 0
+        self._last_act_start = NEVER
+        self._last_write_data_end = NEVER
+        self._last_data_dir: Optional[BusDirection] = None
+        self._data_packets_moved = 0
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Total bytes moved on the DATA bus so far."""
+        return self._data_packets_moved * DATA_PACKET_BYTES
+
+    def bank(self, index: int) -> Bank:
+        """The bank object at ``index`` (bounds-checked)."""
+        if not 0 <= index < self.geometry.num_banks:
+            raise ProtocolError(
+                f"bank index {index} out of range 0..{self.geometry.num_banks - 1}"
+            )
+        return self.banks[index]
+
+    def earliest_act(self, bank: int, now: int) -> int:
+        """First cycle >= now at which ACT to ``bank`` could start.
+
+        On double-bank cores, the activate also waits out t_RP from
+        any neighbor's precharge, and requires both neighbors closed
+        (raising :class:`~repro.errors.ProtocolError` otherwise, since
+        no amount of waiting legalizes it — the controller must
+        precharge the neighbor first).
+        """
+        earliest = max(
+            self.bank(bank).earliest_act(now),
+            self._row_bus_free,
+            self._last_act_start + self.timing.t_rr,
+        )
+        for neighbor in self.geometry.neighbors(bank):
+            neighbor_bank = self.banks[neighbor]
+            if neighbor_bank.is_open:
+                raise ProtocolError(
+                    f"bank {bank}: ACT while adjacent bank {neighbor} is "
+                    "open (shared sense amps on a double-bank core)"
+                )
+            earliest = max(
+                earliest, neighbor_bank.last_prer_start + self.timing.t_rp
+            )
+        return earliest
+
+    def earliest_prer(self, bank: int, now: int) -> int:
+        """First cycle >= now at which PRER to ``bank`` could start."""
+        return max(self.bank(bank).earliest_prer(now), self._row_bus_free)
+
+    def earliest_col(
+        self, bank: int, row: int, now: int, direction: BusDirection
+    ) -> int:
+        """First cycle >= now at which a COL RD/WR could start.
+
+        Accounts for bank readiness, COL-bus occupancy, DATA-bus
+        occupancy at the derived transfer slot, and the write-to-read
+        turnaround when ``direction`` is READ after write data.
+        """
+        delay = (
+            self.timing.read_data_delay()
+            if direction is BusDirection.READ
+            else self.timing.write_data_delay()
+        )
+        col_bus_free = self._col_bus_free
+        if (
+            direction is BusDirection.READ
+            and self.explicit_retire
+            and self._retire_pending
+        ):
+            # A COL RET packet must go out between the last WR and this
+            # RD; leave it a COL-bus slot.
+            col_bus_free += self.timing.t_pack
+        start = max(self.bank(bank).earliest_col(now, row), col_bus_free)
+        data_start = max(start + delay, self._data_bus_free)
+        if direction is BusDirection.READ and self._last_data_dir is BusDirection.WRITE:
+            data_start = max(
+                data_start, self._last_write_data_end + self.timing.t_rw
+            )
+        return data_start - delay
+
+    # ------------------------------------------------------------------
+    # issue operations
+
+    def issue_act(self, bank: int, row: int, now: int) -> RowPacket:
+        """Issue a ROW ACT opening ``row`` in ``bank`` at the earliest
+        legal cycle at or after ``now``.
+
+        Returns:
+            The scheduled ROW packet.
+        """
+        if not 0 <= row < self.geometry.rows_per_bank:
+            raise ProtocolError(
+                f"row {row} out of range 0..{self.geometry.rows_per_bank - 1}"
+            )
+        start = self.earliest_act(bank, now)
+        self.bank(bank).apply_act(start, row)
+        self._row_bus_free = start + self.timing.t_pack
+        self._last_act_start = start
+        packet = RowPacket(command=RowCommand.ACT, bank=bank, row=row, start=start)
+        if self.record_trace:
+            self.trace.append(packet)
+        return packet
+
+    def issue_prer(self, bank: int, now: int) -> RowPacket:
+        """Issue a ROW PRER closing ``bank`` at the earliest legal cycle."""
+        start = self.earliest_prer(bank, now)
+        self.bank(bank).apply_prer(start)
+        self._row_bus_free = start + self.timing.t_pack
+        packet = RowPacket(command=RowCommand.PRER, bank=bank, row=None, start=start)
+        if self.record_trace:
+            self.trace.append(packet)
+        return packet
+
+    def issue_col(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        now: int,
+        direction: BusDirection,
+        precharge: bool = False,
+    ) -> ScheduledAccess:
+        """Issue a COL RD/WR moving one DATA packet.
+
+        Args:
+            bank: Target bank.
+            row: Open row the access is served from.
+            column: DATA-packet index within the row.
+            now: Earliest cycle the controller wants the packet.
+            direction: READ or WRITE.
+            precharge: Carry a precharge flag, closing the bank once
+                the bank-local precharge constraints allow.
+
+        Returns:
+            The scheduled COL and DATA packets.
+        """
+        if not 0 <= column < self.geometry.packets_per_page:
+            raise ProtocolError(
+                f"column {column} out of range "
+                f"0..{self.geometry.packets_per_page - 1}"
+            )
+        start = self.earliest_col(bank, row, now, direction)
+        if (
+            direction is BusDirection.READ
+            and self.explicit_retire
+            and self._retire_pending
+        ):
+            retire = ColPacket(
+                command=ColCommand.RET,
+                bank=bank,
+                row=row,
+                column=0,
+                start=start - self.timing.t_pack,
+            )
+            if self.record_trace:
+                self.trace.append(retire)
+            self._retire_pending = False
+        bank_obj = self.bank(bank)
+        bank_obj.apply_col(start, row)
+        self._col_bus_free = start + self.timing.t_pack
+        delay = (
+            self.timing.read_data_delay()
+            if direction is BusDirection.READ
+            else self.timing.write_data_delay()
+        )
+        data_start = start + delay
+        data = DataPacket(
+            direction=direction, bank=bank, start=data_start, source_col_start=start
+        )
+        self._data_bus_free = data_start + self.timing.t_pack
+        self._last_data_dir = direction
+        if direction is BusDirection.WRITE:
+            self._last_write_data_end = data_start + self.timing.t_pack
+            self._retire_pending = True
+        self._data_packets_moved += 1
+        cmd = ColCommand.RD if direction is BusDirection.READ else ColCommand.WR
+        col = ColPacket(command=cmd, bank=bank, row=row, column=column, start=start)
+        if self.record_trace:
+            self.trace.append(col)
+            self.trace.append(data)
+        if precharge:
+            # The precharge rides the COL packet: it takes effect at the
+            # earliest bank-legal cycle at or after the COL packet, with
+            # no ROW-bus occupancy and no t_RR interaction.
+            prer_start = bank_obj.earliest_prer(start)
+            bank_obj.apply_prer(prer_start)
+            if self.record_trace:
+                self.trace.append(
+                    RowPacket(
+                        command=RowCommand.PRER,
+                        bank=bank,
+                        row=None,
+                        start=prer_start,
+                        via_col=True,
+                    )
+                )
+        return ScheduledAccess(col=col, data=data, precharged=precharge)
+
+    def reset(self) -> None:
+        """Return the device and all banks to the power-on state."""
+        for bank in self.banks:
+            bank.reset()
+        self.trace.clear()
+        self._row_bus_free = 0
+        self._col_bus_free = 0
+        self._data_bus_free = 0
+        self._last_act_start = NEVER
+        self._last_write_data_end = NEVER
+        self._last_data_dir = None
+        self._data_packets_moved = 0
+        self._retire_pending = False

@@ -1,0 +1,119 @@
+"""Distributed refresh engine for the Direct RDRAM device.
+
+The paper ignores refresh ("refresh delays and page miss overheads
+... are ignored", Section 4.1).  This engine exists to *validate* that
+assumption: DRAM cells need every row refreshed within the retention
+window (32 ms for the 64 Mbit generation), which a controller meets by
+issuing one activate/precharge pair per (bank, row) on a fixed cadence
+— 8 banks x 1024 rows over 32 ms is one refresh every ~3.9 us, i.e.
+every ~1562 interface-clock cycles.  The refresh ablation experiment
+shows the resulting bandwidth loss is well under the paper's noise
+floor.
+
+The engine refreshes in the background: when a refresh comes due and
+its target bank (or, on double-bank cores, a neighbor) is busy, the
+refresh is deferred briefly; after ``force_after`` deferrals the
+engine closes the page itself, modeling a real controller's refresh
+deadline taking priority over open-page policy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.rdram.device import RdramDevice
+
+#: Cycles between refreshes so all banks x rows fit in a 32 ms
+#: retention window at 400 MHz: 32e-3 / (8 * 1024) / 2.5e-9.
+DEFAULT_INTERVAL_CYCLES = 1562
+
+#: Cycles to wait before retrying a deferred refresh.
+RETRY_CYCLES = 16
+
+
+class RefreshEngine:
+    """Issues one row refresh (ACT + PRER) every ``interval`` cycles.
+
+    Args:
+        device: The device being refreshed.
+        interval: Cycles between refreshes; the default meets a 32 ms
+            retention window for the paper's 8x1024-row geometry.
+        force_after: Deferrals tolerated before the engine precharges a
+            busy bank itself to meet the retention deadline.
+    """
+
+    def __init__(
+        self,
+        device: RdramDevice,
+        interval: int = DEFAULT_INTERVAL_CYCLES,
+        force_after: int = 8,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError("refresh interval must be positive")
+        self.device = device
+        self.interval = interval
+        self.force_after = force_after
+        self._next_due = interval
+        self._bank_cursor = 0
+        self._row_cursor = 0
+        self._deferrals_in_a_row = 0
+        self.refreshes_issued = 0
+        self.deferrals = 0
+        self.forced_precharges = 0
+
+    @property
+    def next_action_cycle(self) -> int:
+        """Cycle at which the engine next wants to act."""
+        return self._next_due
+
+    def _target_busy(self) -> bool:
+        bank = self.device.bank(self._bank_cursor)
+        if bank.is_open:
+            return True
+        return any(
+            self.device.bank(neighbor).is_open
+            for neighbor in self.device.geometry.neighbors(self._bank_cursor)
+        )
+
+    def tick(self, cycle: int) -> bool:
+        """Perform at most one refresh action at ``cycle``.
+
+        Returns:
+            True if a refresh (or forced precharge) was issued, which
+            perturbs bank state the memory controller may be relying
+            on.
+        """
+        if cycle < self._next_due:
+            return False
+        if self._target_busy():
+            if self._deferrals_in_a_row < self.force_after:
+                self._deferrals_in_a_row += 1
+                self.deferrals += 1
+                self._next_due = cycle + RETRY_CYCLES
+                return False
+            # Deadline: close the in-use page (and, on double-bank
+            # cores, any open neighbor) to get the refresh through.
+            for index in (self._bank_cursor, *self.device.geometry.neighbors(
+                self._bank_cursor
+            )):
+                if self.device.bank(index).is_open:
+                    self.device.issue_prer(index, cycle)
+                    self.forced_precharges += 1
+        activate = self.device.issue_act(
+            self._bank_cursor, self._row_cursor, cycle
+        )
+        self.device.issue_prer(self._bank_cursor, activate.start)
+        self.refreshes_issued += 1
+        self._deferrals_in_a_row = 0
+        self._advance_cursor()
+        self._next_due += self.interval
+        if self._next_due <= cycle:
+            self._next_due = cycle + 1
+        return True
+
+    def _advance_cursor(self) -> None:
+        self._bank_cursor += 1
+        if self._bank_cursor >= self.device.geometry.num_banks:
+            self._bank_cursor = 0
+            self._row_cursor = (
+                self._row_cursor + 1
+            ) % self.device.geometry.rows_per_bank

@@ -1,0 +1,265 @@
+"""Timing parameters for Direct RDRAM and classic DRAM families.
+
+The values here transcribe Figure 1 (typical timing parameters for
+fast-page-mode, EDO, burst-EDO, SDRAM and Direct RDRAM parts) and
+Figure 2 (timing parameter definitions for a minimum -50 -800 Direct
+RDRAM part) of the paper.
+
+All Direct RDRAM timings are expressed in 400 MHz interface-clock
+cycles (t_CYCLE = 2.5 ns), exactly as the paper does: "All references
+to cycles in the following sections are in terms of the 400 MHz
+interface clock."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Interface clock frequency of a Direct RDRAM -800 part, in MHz.
+INTERFACE_CLOCK_MHZ = 400
+
+#: Data is transferred on both edges of the interface clock, two bytes
+#: per edge, so the peak transfer rate is 2 bytes x 2 edges x 400 MHz.
+PEAK_BANDWIDTH_BYTES_PER_SEC = 1_600_000_000
+
+#: Bytes moved across the channel per interface-clock cycle at peak
+#: (16 bits on each of two edges = 4 bytes/cycle).
+BYTES_PER_CYCLE_PEAK = 4
+
+#: One DATA packet carries 16 bytes: four cycles x 4 bytes.
+DATA_PACKET_BYTES = 16
+
+
+@dataclass(frozen=True)
+class RdramTiming:
+    """Direct RDRAM timing parameters, in 400 MHz interface-clock cycles.
+
+    Default values are the minimum -50 -800 part from Figure 2 of the
+    paper. Derived relationships from the datasheet are validated at
+    construction time:
+
+    * ``t_rac == t_rcd + t_cac + 1`` (page-miss latency decomposition),
+    * ``t_rw == t_pack + t_rdly`` (read/write turnaround composition).
+
+    Attributes:
+        t_cycle_ns: Interface clock cycle time in nanoseconds.
+        t_pack: Packet transfer time (command or data), in cycles.
+        t_rcd: Minimum interval between ROW ACT and COL packets.
+        t_rp: Page precharge time, PRER to next ACT, same bank.
+        t_cpol: Maximum overlap between the last COL packet and the
+            start of a ROW PRER packet.
+        t_cac: Page-hit latency, COL packet start to valid data.
+        t_rac: Page-miss latency, ROW ACT start to valid data.
+        t_rc: Page-miss cycle time, minimum interval between successive
+            ROW ACT packets to the same bank.
+        t_rr: Minimum delay between consecutive ROW accesses to the
+            same RDRAM device.
+        t_rdly: Round-trip bus delay added to read page-hit latency
+            (DATA travels opposite to commands; no delay for writes).
+        t_rw: Read/write bus turnaround (t_pack + t_rdly).
+        t_ras: Minimum interval between a ROW ACT packet and the PRER
+            packet for the same bank.  Figure 2 references t_RAS
+            ("The PRER command packet is sent t_RAS cycles after the
+            previous ROW ACT") without tabulating it; we use the -50
+            datasheet minimum of 20 cycles (50 ns), which satisfies the
+            paper's stated inequality t_ras + t_rp < 2*t_rr + t_rac.
+    """
+
+    t_cycle_ns: float = 2.5
+    t_pack: int = 4
+    t_rcd: int = 11
+    t_rp: int = 10
+    t_cpol: int = 1
+    t_cac: int = 8
+    t_rac: int = 20
+    t_rc: int = 34
+    t_rr: int = 8
+    t_rdly: int = 2
+    t_rw: int = 6
+    t_ras: int = 20
+
+    def __post_init__(self) -> None:
+        if self.t_rac != self.t_rcd + self.t_cac + 1:
+            raise ConfigurationError(
+                "t_rac must equal t_rcd + t_cac + 1 (Figure 2): "
+                f"got t_rac={self.t_rac}, "
+                f"t_rcd + t_cac + 1 = {self.t_rcd + self.t_cac + 1}"
+            )
+        if self.t_rw != self.t_pack + self.t_rdly:
+            raise ConfigurationError(
+                "t_rw must equal t_pack + t_rdly (Figure 2): "
+                f"got t_rw={self.t_rw}, "
+                f"t_pack + t_rdly = {self.t_pack + self.t_rdly}"
+            )
+        if self.t_ras + self.t_rp >= 2 * self.t_rr + self.t_rac:
+            raise ConfigurationError(
+                "paper assumes t_ras + t_rp < 2*t_rr + t_rac so the "
+                "precharge fully overlaps other activity (Section 5): "
+                f"{self.t_ras} + {self.t_rp} >= "
+                f"2*{self.t_rr} + {self.t_rac}"
+            )
+        for name in (
+            "t_pack",
+            "t_rcd",
+            "t_rp",
+            "t_cac",
+            "t_rac",
+            "t_rc",
+            "t_rr",
+            "t_ras",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def ns_per_cycle(self) -> float:
+        """Nanoseconds per interface-clock cycle."""
+        return self.t_cycle_ns
+
+    def cycles_to_ns(self, cycles: int) -> float:
+        """Convert an interface-clock cycle count to nanoseconds."""
+        return cycles * self.t_cycle_ns
+
+    def read_data_delay(self) -> int:
+        """Cycles from a COL RD packet start until read DATA starts.
+
+        Reads pay the round-trip bus delay on top of the page-hit
+        latency because the DATA packet travels in the opposite
+        direction of the command (Figure 2, t_RDLY).
+        """
+        return self.t_cac + self.t_rdly
+
+    def write_data_delay(self) -> int:
+        """Cycles from a COL WR packet start until write DATA starts.
+
+        Writes travel in the same direction as commands, so no t_RDLY
+        is added ("no delay for writes", Figure 2).
+        """
+        return self.t_cac
+
+
+#: The default part modeled throughout the paper.
+DEFAULT_TIMING = RdramTiming()
+
+
+@dataclass(frozen=True)
+class ClassicDramTiming:
+    """Timing parameters for a conventional DRAM family (Figure 1).
+
+    Values are in nanoseconds (except ``max_freq_mhz``), exactly as the
+    paper's Figure 1 tabulates them.
+
+    Attributes:
+        name: Marketing name of the family.
+        t_rac_ns: Row-access time.
+        t_cac_ns: Column-access time.
+        t_rc_ns: Random read/write cycle time.
+        t_pc_ns: Page-mode cycle time.  For Direct RDRAM the figure
+            reports the packet transfer time here, since t_PC does not
+            apply to a packetized interface.
+        max_freq_mhz: Maximum operating frequency.
+        bus_width_bytes: Width of the data bus, used to derive peak
+            bandwidth for cross-family comparisons.
+    """
+
+    name: str
+    t_rac_ns: float
+    t_cac_ns: float
+    t_rc_ns: float
+    t_pc_ns: float
+    max_freq_mhz: float
+    bus_width_bytes: int = 8
+
+    @property
+    def peak_bandwidth_bytes_per_sec(self) -> float:
+        """Peak transfer rate implied by page-mode cycling.
+
+        One ``bus_width_bytes`` transfer per page-mode cycle.  For
+        Direct RDRAM the page-mode "cycle" is the 10 ns packet slot
+        moving 16 bytes, which recovers the advertised 1.6 GB/s.
+        """
+        return self.bus_width_bytes / (self.t_pc_ns * 1e-9)
+
+    def page_hit_latency_ns(self) -> float:
+        """Latency of an access that hits the open page."""
+        return self.t_cac_ns
+
+    def page_miss_latency_ns(self) -> float:
+        """Latency of an access that must open a new page."""
+        return self.t_rac_ns
+
+
+#: Figure 1 of the paper, transcribed.  Direct RDRAM's "t_PC" entry is
+#: the 10 ns packet transfer time and it moves a 16-byte DATA packet
+#: per slot; the classic parts move one 8-byte word per page cycle.
+DRAM_FAMILIES: Dict[str, ClassicDramTiming] = {
+    "fast-page-mode": ClassicDramTiming(
+        name="Fast-Page Mode",
+        t_rac_ns=50,
+        t_cac_ns=13,
+        t_rc_ns=95,
+        t_pc_ns=30,
+        max_freq_mhz=33,
+    ),
+    "edo": ClassicDramTiming(
+        name="EDO",
+        t_rac_ns=50,
+        t_cac_ns=13,
+        t_rc_ns=89,
+        t_pc_ns=20,
+        max_freq_mhz=50,
+    ),
+    "burst-edo": ClassicDramTiming(
+        name="Burst-EDO",
+        t_rac_ns=52,
+        t_cac_ns=10,
+        t_rc_ns=90,
+        t_pc_ns=15,
+        max_freq_mhz=66,
+    ),
+    "sdram": ClassicDramTiming(
+        name="SDRAM",
+        t_rac_ns=50,
+        t_cac_ns=9,
+        t_rc_ns=100,
+        t_pc_ns=10,
+        max_freq_mhz=100,
+    ),
+    "direct-rdram": ClassicDramTiming(
+        name="Direct RDRAM",
+        t_rac_ns=50,
+        t_cac_ns=20,
+        t_rc_ns=85,
+        t_pc_ns=10,
+        max_freq_mhz=400,
+        bus_width_bytes=16,
+    ),
+}
+
+
+def figure2_rows(timing: RdramTiming = DEFAULT_TIMING) -> Tuple[Tuple[str, str, int, float], ...]:
+    """Rows of the paper's Figure 2 for a given part.
+
+    Returns:
+        Tuples of (parameter name, description, cycles, nanoseconds).
+    """
+    rows = (
+        ("t_CYCLE", "interface clock cycle time (400 MHz)", 1, timing.t_cycle_ns),
+        ("t_PACK", "packet transfer time", timing.t_pack, None),
+        ("t_RCD", "min interval between ROW & COL packets", timing.t_rcd, None),
+        ("t_RP", "page precharge time (PRER to ACT)", timing.t_rp, None),
+        ("t_CPOL", "max overlap of last COL packet & ROW PRER", timing.t_cpol, None),
+        ("t_CAC", "page hit latency (COL packet to valid data)", timing.t_cac, None),
+        ("t_RAC", "page miss latency (ROW ACT to valid data)", timing.t_rac, None),
+        ("t_RC", "page miss cycle time (ACT to ACT, same bank)", timing.t_rc, None),
+        ("t_RR", "row/row packet delay (same device)", timing.t_rr, None),
+        ("t_RDLY", "roundtrip bus delay (reads only)", timing.t_rdly, None),
+        ("t_RW", "read/write bus turnaround", timing.t_rw, None),
+    )
+    return tuple(
+        (name, desc, cycles, timing.cycles_to_ns(cycles) if ns is None else ns)
+        for name, desc, cycles, ns in rows
+    )

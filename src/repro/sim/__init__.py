@@ -1,0 +1,22 @@
+"""Simulation engine, runner API, and result records."""
+
+from repro.sim.engine import run_smc
+from repro.sim.metrics import BankStats, TraceMetrics, bank_imbalance, measure_trace
+from repro.sim.results import SimulationResult
+from repro.sim.runner import ORGANIZATIONS, resolve_config, resolve_policy, simulate_kernel
+from repro.sim.sweep import Sweep, pivot
+
+__all__ = [
+    "run_smc",
+    "BankStats",
+    "TraceMetrics",
+    "bank_imbalance",
+    "measure_trace",
+    "SimulationResult",
+    "ORGANIZATIONS",
+    "resolve_config",
+    "resolve_policy",
+    "simulate_kernel",
+    "Sweep",
+    "pivot",
+]

@@ -1,0 +1,180 @@
+"""Command-line simulator: one kernel, one configuration, full report.
+
+Installed as ``repro-simulate``.  Runs a single SMC simulation (or the
+natural-order baseline) and prints the result, optionally with the
+Gantt trace view, derived metrics, and a protocol audit::
+
+    repro-simulate daxpy --org pi --fifo-depth 64 --gantt --metrics
+    repro-simulate "y[i] = a*x[i] + y[i]" --compile --org cli
+    repro-simulate vaxpy --baseline natural-order --stride 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.analytic.cache import natural_order_bound
+from repro.analytic.smc import smc_bound
+from repro.compiler.frontend import compile_loop
+from repro.core.smc import build_smc_system
+from repro.cpu.kernels import KERNELS, get_kernel
+from repro.cpu.streams import Alignment
+from repro.naturalorder.controller import NaturalOrderController
+from repro.rdram.audit import audit_trace
+from repro.rdram.tracefmt import render_trace
+from repro.sim.engine import run_smc
+from repro.sim.metrics import bank_imbalance, measure_trace
+from repro.sim.runner import resolve_config, resolve_policy
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description=(
+            "Simulate a streaming kernel on a Direct RDRAM memory system "
+            "(HPCA 1999 reproduction)."
+        ),
+    )
+    parser.add_argument(
+        "kernel",
+        help=f"kernel name ({', '.join(sorted(KERNELS))}) or, with "
+             "--compile, a loop body like 'y[i] = a*x[i] + y[i]'",
+    )
+    parser.add_argument("--compile", action="store_true",
+                        help="treat KERNEL as loop source to compile")
+    parser.add_argument("--org", default="cli", choices=("cli", "pi"),
+                        help="memory organization (default cli)")
+    parser.add_argument("--length", type=int, default=1024,
+                        help="vector length in elements (default 1024)")
+    parser.add_argument("--fifo-depth", type=int, default=64,
+                        help="SMC FIFO depth in elements (default 64)")
+    parser.add_argument("--stride", type=int, default=1,
+                        help="vector stride in 64-bit words (default 1)")
+    parser.add_argument("--alignment", default="staggered",
+                        choices=("staggered", "aligned"),
+                        help="vector base placement (default staggered)")
+    parser.add_argument("--policy", default="round-robin",
+                        choices=("round-robin", "bank-aware",
+                                 "speculative-precharge"),
+                        help="MSU scheduling policy")
+    parser.add_argument("--baseline", default=None,
+                        choices=("natural-order",),
+                        help="run the traditional controller instead of "
+                             "the SMC")
+    parser.add_argument("--refresh", action="store_true",
+                        help="run the background refresh engine")
+    parser.add_argument("--gantt", type=int, nargs="?", const=120,
+                        default=None, metavar="CYCLES",
+                        help="print the first CYCLES cycles as a timing "
+                             "diagram (default 120)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print trace-derived bus/bank metrics")
+    parser.add_argument("--audit", action="store_true",
+                        help="verify the packet trace against the "
+                             "protocol auditor")
+    parser.add_argument("--bounds", action="store_true",
+                        help="print the Section 5 analytic bounds")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except ReproError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 1
+
+
+def _run(args) -> int:
+    config = resolve_config(args.org)
+    if args.compile:
+        kernel = compile_loop(args.kernel)
+    else:
+        kernel = get_kernel(args.kernel)
+    need_trace = bool(args.gantt is not None or args.metrics or args.audit)
+
+    if args.baseline == "natural-order":
+        controller = NaturalOrderController(config, record_trace=need_trace)
+        result = controller.run(
+            kernel,
+            length=args.length,
+            stride=args.stride,
+            alignment=Alignment(args.alignment),
+        )
+        trace = controller.device.trace
+    else:
+        system = build_smc_system(
+            kernel,
+            config,
+            length=args.length,
+            fifo_depth=args.fifo_depth,
+            stride=args.stride,
+            alignment=Alignment(args.alignment),
+            policy=resolve_policy(args.policy),
+            record_trace=need_trace,
+            refresh=args.refresh,
+        )
+        result = run_smc(system)
+        trace = system.device.trace
+
+    print(f"kernel       : {kernel.name}  ({kernel.expression})")
+    print(f"organization : {config.describe()}")
+    print(f"controller   : {result.policy}")
+    print(f"cycles       : {result.cycles}")
+    print(f"bandwidth    : {result.percent_of_peak:.2f}% of peak "
+          f"({result.effective_bandwidth_bytes_per_sec / 1e9:.3f} GB/s)")
+    if result.stride > 1:
+        print(f"attainable   : {result.percent_of_attainable:.2f}% "
+              "(stride-limited ceiling)")
+    print(f"traffic      : {result.transferred_bytes} bytes moved for "
+          f"{result.useful_bytes} useful")
+    print(f"activity     : {result.packets_issued} packets, "
+          f"{result.activations} activations, "
+          f"{result.bank_conflicts} bank conflicts, "
+          f"{result.refreshes} refreshes")
+
+    if args.bounds:
+        cache = natural_order_bound(
+            config, kernel.num_read_streams, kernel.num_write_streams,
+            stride=args.stride,
+        )
+        smc = smc_bound(
+            config, kernel.num_read_streams, kernel.num_write_streams,
+            args.length, args.fifo_depth, stride=args.stride,
+        )
+        print(f"bounds       : natural-order {cache.percent_of_peak:.2f}%, "
+              f"SMC combined {smc.percent_combined_limit:.2f}% "
+              f"(startup {smc.percent_startup_limit:.2f}%, "
+              f"asymptotic {smc.percent_asymptotic_limit:.2f}%)")
+
+    if args.audit:
+        geometry = config.geometry
+        report = audit_trace(
+            trace,
+            config.timing,
+            num_banks=geometry.num_banks,
+            doubled_banks=geometry.doubled_banks,
+        )
+        print(f"audit        : OK ({report.col_packets} col packets, "
+              f"{report.turnarounds} turnarounds)")
+
+    if args.metrics:
+        metrics = measure_trace(trace, config.timing)
+        print(f"bus load     : data {metrics.data_bus_utilization:.1%}, "
+              f"row {metrics.row_bus_utilization:.1%}, "
+              f"col {metrics.col_bus_utilization:.1%}; "
+              f"bank imbalance "
+              f"{bank_imbalance(metrics, config.geometry.num_banks):.2f}")
+
+    if args.gantt is not None:
+        print()
+        print(render_trace(trace, until=args.gantt))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""Cycle-based functional simulation engine for SMC systems.
+
+The engine advances a global interface-clock cycle counter and, at
+each visited cycle, (1) lands read DATA packets that completed into
+their FIFOs, (2) lets the MSU make a scheduling decision, and (3) lets
+the processor retire one element access.  Between interesting cycles
+the engine skips ahead: every state change happens either at a queued
+data-arrival event, at the MSU's next decision cycle, or at the
+processor's next paced attempt, so visiting only those cycles is
+exact.  Components that are blocked are re-woken by the state changes
+that can unblock them.
+
+The simulation ends when the processor has retired every access, all
+FIFOs have drained, and no data is in flight.  A watchdog raises
+:class:`~repro.errors.SchedulingError` if the system stops making
+progress (which would indicate a controller bug, not a slow run).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.core.msu import IDLE
+from repro.core.smc import SmcSystem
+from repro.memsys.config import ELEMENT_BYTES
+from repro.rdram.audit import audit_trace
+from repro.sim.results import SimulationResult
+
+
+def run_smc(
+    system: SmcSystem,
+    max_cycles: Optional[int] = None,
+    audit: bool = False,
+    dense: bool = False,
+) -> SimulationResult:
+    """Simulate an SMC system to completion.
+
+    Args:
+        system: A wired system from
+            :func:`repro.core.smc.build_smc_system`.
+        max_cycles: Watchdog limit; defaults to a generous bound
+            derived from the total traffic.
+        audit: After completion, replay the device's packet trace
+            through the independent protocol auditor (requires the
+            system to have been built with ``record_trace=True``).
+        dense: Visit every cycle instead of skipping to the next
+            interesting one.  Slower but trivially correct; the
+            property tests assert both modes produce identical
+            results, validating the skip logic.
+
+    Returns:
+        The simulation result.
+
+    Raises:
+        SchedulingError: On deadlock or watchdog expiry.
+    """
+    processor = system.processor
+    msu = system.msu
+    sbu = system.sbu
+    total_units = sum(len(fifo.units) for fifo in sbu)
+    if max_cycles is None:
+        max_cycles = 10_000 + 100 * total_units
+
+    heap: List[Tuple[int, int, int]] = []
+    cycle = 0
+    while True:
+        fired = False
+        while heap and heap[0][0] <= cycle:
+            __, fifo_index, elements = heapq.heappop(heap)
+            sbu[fifo_index].note_arrival(elements)
+            fired = True
+        if system.refresh is not None and system.refresh.tick(cycle):
+            # A refresh stole the row bus or closed a page; the MSU's
+            # next access may need to re-activate.
+            fired = True
+        if fired:
+            msu.wake(cycle)
+        for event in msu.tick(cycle):
+            heapq.heappush(heap, (event.cycle, event.fifo_index, event.elements))
+        if processor.tick(cycle, sbu):
+            # A pop freed read-FIFO space or a push fed a write FIFO:
+            # an idle MSU may now have a serviceable FIFO.
+            msu.wake(cycle + 1)
+        if processor.done and sbu.all_drained and not heap:
+            break
+        if dense:
+            _next_cycle(cycle, heap, msu, processor, system.refresh)
+            cycle += 1
+        else:
+            cycle = _next_cycle(cycle, heap, msu, processor, system.refresh)
+        if cycle > max_cycles:
+            raise SchedulingError(
+                f"simulation exceeded {max_cycles} cycles "
+                f"(kernel={system.kernel.name}, "
+                f"org={system.config.describe()})"
+            )
+
+    end_cycle = max(msu.last_data_end, (processor.last_retire_cycle or 0))
+    if audit:
+        geometry = system.config.geometry
+        audit_trace(
+            system.device.trace,
+            timing=system.config.timing,
+            num_banks=geometry.num_banks,
+            doubled_banks=geometry.doubled_banks,
+            banks_per_device=getattr(
+                geometry, "device", geometry
+            ).num_banks,
+        )
+    useful = sum(fifo.descriptor.length for fifo in sbu) * ELEMENT_BYTES
+    return SimulationResult(
+        kernel=system.kernel.name,
+        organization=system.config.describe(),
+        length=system.descriptors[0].length,
+        stride=system.descriptors[0].stride,
+        fifo_depth=sbu[0].depth,
+        alignment=_alignment_name(system),
+        policy=msu.policy.name,
+        cycles=end_cycle,
+        useful_bytes=useful,
+        transferred_bytes=system.device.bytes_transferred,
+        startup_cycles=processor.first_element_cycle or 0,
+        cpu_stall_cycles=processor.stall_cycles,
+        packets_issued=msu.packets_issued,
+        activations=msu.activations,
+        bank_conflicts=msu.bank_conflicts,
+        fifo_switches=msu.fifo_switches,
+        speculative_activations=msu.speculative_activations,
+        refreshes=(
+            system.refresh.refreshes_issued if system.refresh else 0
+        ),
+    )
+
+
+def _next_cycle(cycle, heap, msu, processor, refresh=None) -> int:
+    """The next cycle at which any component can change state."""
+    candidates = []
+    if heap:
+        candidates.append(heap[0][0])
+    if msu.next_decision < IDLE:
+        candidates.append(msu.next_decision)
+    attempt = processor.next_attempt_cycle
+    if attempt is not None:
+        candidates.append(attempt)
+    if not candidates:
+        # A pending refresh does not count as forward progress for the
+        # computation itself, so it cannot break a deadlock.
+        raise SchedulingError(
+            "deadlock: processor blocked, MSU idle, no data in flight"
+        )
+    if refresh is not None:
+        candidates.append(refresh.next_action_cycle)
+    return max(cycle + 1, min(candidates))
+
+
+def _alignment_name(system: SmcSystem) -> str:
+    """Classify the actual placement by inspecting base banks."""
+    from repro.memsys.address import AddressMap
+
+    address_map = AddressMap(system.config)
+    banks = {address_map.bank_of(d.base) for d in system.descriptors}
+    return "aligned" if len(banks) == 1 else "staggered"

@@ -1,0 +1,199 @@
+"""Trace-derived measurement: utilization, bank pressure, turnarounds.
+
+The paper's analysis reasons about three resources — the DATA bus, the
+command buses, and the banks.  This module computes those quantities
+from a recorded packet trace, independently of the simulators that
+produced it, so any run can be inspected quantitatively:
+
+* data/row/col bus utilization, overall and per time window (the
+  utilization *timeline* shows warmup, steady state, and drain);
+* per-bank activations, column accesses, and open intervals;
+* bus turnaround count and the cycles lost to t_RW gaps;
+* the same percent-of-peak figure the simulators report, recomputed
+  from the trace alone (tests assert the two agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rdram.packets import (
+    BusDirection,
+    ColPacket,
+    DataPacket,
+    RowCommand,
+    RowPacket,
+)
+from repro.rdram.timing import RdramTiming
+
+
+@dataclass(frozen=True)
+class BankStats:
+    """Activity of one bank over a trace.
+
+    Attributes:
+        bank: Bank index.
+        activations: ROW ACT packets received.
+        precharges: PRER operations (row-bus or col-carried).
+        column_accesses: COL RD/WR packets served.
+    """
+
+    bank: int
+    activations: int
+    precharges: int
+    column_accesses: int
+
+
+@dataclass(frozen=True)
+class TraceMetrics:
+    """Aggregate measurements over one packet trace.
+
+    Attributes:
+        cycles: Extent of the trace (end of its last packet).
+        data_bus_utilization: Fraction of cycles the DATA bus carried
+            packets.
+        row_bus_utilization: Same for ROW command packets (col-carried
+            precharges excluded — they cost no row-bus bandwidth).
+        col_bus_utilization: Same for COL command packets.
+        data_packets: DATA packets moved.
+        turnarounds: Write-to-read bus direction flips.
+        turnaround_cycles: DATA-bus idle cycles attributable to t_RW
+            gaps at those flips.
+        bank_stats: Per-bank activity, indexed by bank.
+        utilization_timeline: (window start, data-bus utilization) per
+            window.
+    """
+
+    cycles: int
+    data_bus_utilization: float
+    row_bus_utilization: float
+    col_bus_utilization: float
+    data_packets: int
+    turnarounds: int
+    turnaround_cycles: int
+    bank_stats: Dict[int, BankStats]
+    utilization_timeline: Tuple[Tuple[int, float], ...]
+
+    @property
+    def percent_of_peak(self) -> float:
+        """Peak fraction delivered, from the trace alone."""
+        return 100.0 * self.data_bus_utilization
+
+
+def measure_trace(
+    trace: Sequence[object],
+    timing: Optional[RdramTiming] = None,
+    window: int = 256,
+) -> TraceMetrics:
+    """Compute :class:`TraceMetrics` for a recorded trace.
+
+    Args:
+        trace: Packets recorded by a device or channel.
+        timing: Timing parameters (for packet width and t_RW).
+        window: Cycles per utilization-timeline bucket.
+
+    Returns:
+        The measurements.
+
+    Raises:
+        ConfigurationError: If the window is not positive.
+    """
+    timing = timing or RdramTiming()
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    t_pack = timing.t_pack
+
+    end = 0
+    data_cycles = 0
+    row_cycles = 0
+    col_cycles = 0
+    data_packets = 0
+    turnarounds = 0
+    turnaround_cycles = 0
+    last_data_dir: Optional[BusDirection] = None
+    last_write_end = 0
+    activations: Dict[int, int] = {}
+    precharges: Dict[int, int] = {}
+    column_accesses: Dict[int, int] = {}
+    windows: Dict[int, int] = {}
+
+    for packet in sorted(trace, key=lambda p: p.start):
+        end = max(end, packet.start + t_pack)
+        if isinstance(packet, RowPacket):
+            if packet.command is RowCommand.ACT:
+                activations[packet.bank] = activations.get(packet.bank, 0) + 1
+                row_cycles += t_pack
+            else:
+                precharges[packet.bank] = precharges.get(packet.bank, 0) + 1
+                if not packet.via_col:
+                    row_cycles += t_pack
+        elif isinstance(packet, ColPacket):
+            col_cycles += t_pack
+            if packet.command.value in ("RD", "WR"):
+                column_accesses[packet.bank] = (
+                    column_accesses.get(packet.bank, 0) + 1
+                )
+        elif isinstance(packet, DataPacket):
+            data_packets += 1
+            data_cycles += t_pack
+            for offset in range(t_pack):
+                bucket = (packet.start + offset) // window
+                windows[bucket] = windows.get(bucket, 0) + 1
+            if (
+                packet.direction is BusDirection.READ
+                and last_data_dir is BusDirection.WRITE
+            ):
+                turnarounds += 1
+                turnaround_cycles += max(
+                    0, min(packet.start - last_write_end, timing.t_rw)
+                )
+            if packet.direction is BusDirection.WRITE:
+                last_write_end = packet.start + t_pack
+            last_data_dir = packet.direction
+
+    banks = {
+        bank: BankStats(
+            bank=bank,
+            activations=activations.get(bank, 0),
+            precharges=precharges.get(bank, 0),
+            column_accesses=column_accesses.get(bank, 0),
+        )
+        for bank in sorted(
+            set(activations) | set(precharges) | set(column_accesses)
+        )
+    }
+    timeline = tuple(
+        (bucket * window, count / window)
+        for bucket, count in sorted(windows.items())
+    )
+    return TraceMetrics(
+        cycles=end,
+        data_bus_utilization=data_cycles / end if end else 0.0,
+        row_bus_utilization=row_cycles / end if end else 0.0,
+        col_bus_utilization=col_cycles / end if end else 0.0,
+        data_packets=data_packets,
+        turnarounds=turnarounds,
+        turnaround_cycles=turnaround_cycles,
+        bank_stats=banks,
+        utilization_timeline=timeline,
+    )
+
+
+def bank_imbalance(metrics: TraceMetrics, num_banks: Optional[int] = None) -> float:
+    """Max/mean ratio of per-bank column accesses (1.0 = balanced).
+
+    Args:
+        metrics: Measurements from :func:`measure_trace`.
+        num_banks: Total banks in the system; banks the trace never
+            touched then count as zero, so concentration on a few
+            banks (e.g. CLI at stride 16) shows up as a high ratio.
+            Defaults to only the touched banks.
+    """
+    counts = [stats.column_accesses for stats in metrics.bank_stats.values()]
+    if not counts or sum(counts) == 0:
+        return 1.0
+    population = max(num_banks or len(counts), len(counts))
+    mean = sum(counts) / population
+    return max(counts) / mean

@@ -1,0 +1,111 @@
+"""Simulation result records and bandwidth accounting.
+
+Throughout the paper, "effective bandwidth" and "percentage of peak
+bandwidth" describe the fraction of the memory system's total
+bandwidth exploited by a configuration (Section 5).  Peak bandwidth
+for a single Direct RDRAM is 1.6 GB/s — 4 bytes per 400 MHz interface
+cycle — so percent-of-peak reduces to useful bytes delivered per
+cycle over 4.
+
+For non-unit strides only half of every DATA packet carries useful
+words, capping *attainable* bandwidth at 50 % of peak; Figure 9 plots
+percent of attainable, provided here as
+:attr:`SimulationResult.percent_of_attainable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.rdram.timing import BYTES_PER_CYCLE_PEAK
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated inner-loop computation.
+
+    Attributes:
+        kernel: Kernel name.
+        organization: Human-readable memory organization summary.
+        length: Vector length in elements (L_s).
+        stride: Stride in elements.
+        fifo_depth: FIFO depth in elements (f); 0 for non-SMC runs.
+        alignment: Placement name ("aligned"/"staggered").
+        policy: Scheduling policy name ("natural-order" for the
+            baseline controller).
+        cycles: Interface-clock cycles to complete all stream accesses.
+        useful_bytes: Bytes of stream elements the processor consumed
+            or produced (s * L_s * 8).
+        transferred_bytes: Bytes actually moved on the DATA bus,
+            including unused words of sparsely filled packets.
+        startup_cycles: Cycle at which the processor retired its first
+            element access.
+        cpu_stall_cycles: Cycles the processor spent blocked on FIFOs.
+        packets_issued: COL packets issued.
+        activations: ROW ACT packets issued.
+        bank_conflicts: Precharges forced by a needed bank holding a
+            different open row.
+        fifo_switches: Times the MSU moved to a different FIFO.
+        speculative_activations: Row activations issued ahead of need
+            by a speculative policy.
+        refreshes: Background row refreshes performed during the run
+            (zero unless the system was built with ``refresh=True``).
+    """
+
+    kernel: str
+    organization: str
+    length: int
+    stride: int
+    fifo_depth: int
+    alignment: str
+    policy: str
+    cycles: int
+    useful_bytes: int
+    transferred_bytes: int
+    startup_cycles: int = 0
+    cpu_stall_cycles: int = 0
+    packets_issued: int = 0
+    activations: int = 0
+    bank_conflicts: int = 0
+    fifo_switches: int = 0
+    speculative_activations: int = 0
+    refreshes: int = 0
+
+    @property
+    def percent_of_peak(self) -> float:
+        """Useful bytes per cycle as a percentage of the 4 B/cycle peak."""
+        if self.cycles <= 0:
+            return 0.0
+        return 100.0 * self.useful_bytes / (self.cycles * BYTES_PER_CYCLE_PEAK)
+
+    @property
+    def attainable_fraction(self) -> float:
+        """Fraction of peak that dense packets could ever deliver.
+
+        1.0 at stride one; 0.5 for larger strides, where every DATA
+        packet carries one useful 64-bit word out of two.
+        """
+        if self.transferred_bytes <= 0:
+            return 1.0
+        return min(1.0, self.useful_bytes / self.transferred_bytes)
+
+    @property
+    def percent_of_attainable(self) -> float:
+        """Percent of the stride-limited attainable bandwidth (Figure 9)."""
+        fraction = self.attainable_fraction
+        if fraction <= 0:
+            return 0.0
+        return self.percent_of_peak / fraction
+
+    @property
+    def effective_bandwidth_bytes_per_sec(self) -> float:
+        """Delivered useful bandwidth in bytes/second."""
+        return self.percent_of_peak / 100.0 * 1_600_000_000
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.kernel:8s} {self.organization:38s} "
+            f"L={self.length:5d} stride={self.stride:2d} f={self.fifo_depth:3d} "
+            f"{self.alignment:9s} {self.policy:12s} "
+            f"{self.cycles:7d} cyc  {self.percent_of_peak:6.2f}% peak"
+        )

@@ -1,0 +1,158 @@
+"""Parameter sweeps over the simulator.
+
+The paper's evaluation is a grid of simulations — kernels x
+organizations x FIFO depths x lengths x alignments x strides.  This
+module provides that grid as a first-class object: declare the axes,
+get every :class:`~repro.sim.results.SimulationResult` back, and pivot
+them into the rows a table or chart needs.
+
+    >>> from repro.sim.sweep import Sweep
+    >>> sweep = Sweep(kernel=["copy", "daxpy"], fifo_depth=[8, 64],
+    ...               length=[128])
+    >>> results = sweep.run()
+    >>> len(results)
+    4
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.sim.runner import simulate_kernel
+
+#: Axes simulate_kernel understands, in canonical order.
+AXES = (
+    "kernel",
+    "organization",
+    "length",
+    "fifo_depth",
+    "stride",
+    "alignment",
+    "policy",
+)
+
+#: Defaults for axes the caller leaves out.
+DEFAULTS: Mapping[str, Any] = {
+    "kernel": "daxpy",
+    "organization": "cli",
+    "length": 1024,
+    "fifo_depth": 64,
+    "stride": 1,
+    "alignment": "staggered",
+    "policy": None,
+}
+
+
+@dataclass
+class Sweep:
+    """A cartesian sweep over simulation parameters.
+
+    Any keyword accepted by
+    :func:`~repro.sim.runner.simulate_kernel` can be an axis; single
+    values and lists are both accepted (single values are broadcast).
+
+    Attributes:
+        axes: Mapping of axis name to the values to sweep.
+    """
+
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def __init__(self, **axes: Any) -> None:
+        unknown = set(axes) - set(AXES)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown sweep axes {sorted(unknown)}; valid: {list(AXES)}"
+            )
+        self.axes = {
+            name: list(value) if isinstance(value, (list, tuple)) else [value]
+            for name, value in axes.items()
+        }
+
+    @property
+    def size(self) -> int:
+        """Number of simulations the sweep will run."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def points(self) -> Iterable[Dict[str, Any]]:
+        """Yield one keyword dict per grid point, in axis order."""
+        names = [name for name in AXES if name in self.axes]
+        value_lists = [self.axes[name] for name in names]
+        for combination in itertools.product(*value_lists):
+            point = dict(DEFAULTS)
+            point.update(dict(zip(names, combination)))
+            yield point
+
+    def run(
+        self,
+        progress: Callable[[Dict[str, Any], SimulationResult], None] = None,
+        **fixed: Any,
+    ) -> List[SimulationResult]:
+        """Run every grid point.
+
+        Args:
+            progress: Optional callback invoked after each simulation
+                with (point, result).
+            **fixed: Extra keyword arguments passed to every
+                simulation (e.g. ``audit=True``).
+
+        Returns:
+            Results in grid order.
+        """
+        results = []
+        for point in self.points():
+            result = simulate_kernel(**point, **fixed)
+            if progress is not None:
+                progress(point, result)
+            results.append(result)
+        return results
+
+
+def pivot(
+    results: Sequence[SimulationResult],
+    row_key: Callable[[SimulationResult], Any],
+    column_key: Callable[[SimulationResult], Any],
+    value: Callable[[SimulationResult], Any] = lambda r: r.percent_of_peak,
+) -> Tuple[List[Any], List[Any], List[List[Any]]]:
+    """Pivot results into a (row labels, column labels, grid) triple.
+
+    Args:
+        results: Simulation results (e.g. from :meth:`Sweep.run`).
+        row_key: Result attribute selecting the row.
+        column_key: Result attribute selecting the column.
+        value: Cell value extractor; defaults to percent of peak.
+
+    Returns:
+        Row labels (first-seen order), column labels, and the value
+        grid with None for absent combinations.
+
+    Raises:
+        ConfigurationError: If two results land on the same cell.
+    """
+    row_labels: List[Any] = []
+    column_labels: List[Any] = []
+    cells: Dict[Tuple[Any, Any], Any] = {}
+    for result in results:
+        row = row_key(result)
+        column = column_key(result)
+        if row not in row_labels:
+            row_labels.append(row)
+        if column not in column_labels:
+            column_labels.append(column)
+        if (row, column) in cells:
+            raise ConfigurationError(
+                f"duplicate sweep cell ({row!r}, {column!r}); add the "
+                "distinguishing parameter as a pivot key"
+            )
+        cells[(row, column)] = value(result)
+    grid = [
+        [cells.get((row, column)) for column in column_labels]
+        for row in row_labels
+    ]
+    return row_labels, column_labels, grid

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsys.config import MemorySystemConfig
+from repro.rdram.device import RdramDevice
+from repro.rdram.timing import RdramTiming
+
+
+@pytest.fixture
+def timing() -> RdramTiming:
+    """The default -50 -800 part timing."""
+    return RdramTiming()
+
+
+@pytest.fixture
+def device(timing: RdramTiming) -> RdramDevice:
+    """A fresh device with trace recording on."""
+    return RdramDevice(timing=timing, record_trace=True)
+
+
+@pytest.fixture
+def cli_config() -> MemorySystemConfig:
+    """The paper's CLI organization."""
+    return MemorySystemConfig.cli()
+
+
+@pytest.fixture
+def pi_config() -> MemorySystemConfig:
+    """The paper's PI organization."""
+    return MemorySystemConfig.pi()

@@ -1,0 +1,131 @@
+"""Hand-checked values for the verbatim Section 5 equations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic import equations as eq
+from repro.rdram.timing import RdramTiming
+
+L_C = 4   # 64-bit words per 32-byte cacheline
+L_P = 128  # words per 1 KB page
+W_P = 2   # words per DATA packet
+
+
+@pytest.fixture
+def t():
+    return RdramTiming()
+
+
+class TestClosedPage:
+    def test_eq_5_2_t_lcc(self, t):
+        # t_RAC + t_PACK * (L_c/w_p - 1) = 20 + 4*1 = 24.
+        assert eq.eq_5_2_t_lcc(t, L_C, W_P) == 24
+
+    def test_eq_5_3_unit_stride(self, t):
+        # 24 cycles / 4 useful words = 6 cycles per word.
+        assert eq.eq_5_3_single_stream_closed(t, L_C, W_P, 1) == pytest.approx(6.0)
+
+    def test_eq_5_3_stride_two(self, t):
+        assert eq.eq_5_3_single_stream_closed(t, L_C, W_P, 2) == pytest.approx(12.0)
+
+    def test_eq_5_3_saturates_beyond_cacheline(self, t):
+        beyond = eq.eq_5_3_single_stream_closed(t, L_C, W_P, 8)
+        far_beyond = eq.eq_5_3_single_stream_closed(t, L_C, W_P, 32)
+        assert beyond == far_beyond == pytest.approx(24.0)
+
+    def test_eq_5_4_three_streams_matches_figure5(self, t):
+        # Figure 5: t_RR + t_RAC + t_RR = 36 for the three-stream loop.
+        assert eq.eq_5_4_t_pipe_closed(t, L_C, W_P, 3) == 36
+
+    def test_eq_5_4_longer_lines_bound_by_data(self, t):
+        # 64-byte lines: 4 packets = 16 cycles > t_RR per stream.
+        assert eq.eq_5_4_t_pipe_closed(t, 8, W_P, 3) == 20 + 16 * 2
+
+    def test_eq_5_5_t_last(self, t):
+        # t_RR*(s-2) + t_RAC + T_LCC = 8 + 20 + 24 for s = 3.
+        assert eq.eq_5_5_t_last_closed(t, L_C, W_P, 3) == 52
+
+    def test_eq_5_6_total_cycles(self, t):
+        # (Ls/Lc - 1) * T_pipe + T_last for Ls = 8, s = 3.
+        assert eq.eq_5_6_cycles_closed(t, L_C, W_P, 3, 8) == 36 + 52
+
+
+class TestOpenPage:
+    def test_eq_5_7_t_lco(self, t):
+        # t_CAC + t_PACK * (L_c/w_p - 1) = 8 + 4 = 12.
+        assert eq.eq_5_7_t_lco(t, L_C, W_P) == 12
+
+    def test_eq_5_8_unit_stride(self, t):
+        # (t_RP + T_LCC + 31*T_LCO) / 128 = (10+24+372)/128.
+        assert eq.eq_5_8_single_stream_open(t, L_C, L_P, W_P, 1) == pytest.approx(
+            406 / 128
+        )
+
+    def test_eq_5_8_without_t_rp(self, t):
+        assert eq.eq_5_8_single_stream_open(
+            t, L_C, L_P, W_P, 1, include_t_rp=False
+        ) == pytest.approx(396 / 128)
+
+    def test_eq_5_8_strided_touches_fewer_lines(self, t):
+        # Stride 8: 16 lines per page, 16 useful words.
+        expected = (10 + 24 + 12 * 15) / 16
+        assert eq.eq_5_8_single_stream_open(t, L_C, L_P, W_P, 8) == pytest.approx(
+            expected
+        )
+
+    def test_eq_5_9_degenerate_saturation(self, t):
+        # As printed, T_pipe equals the raw data time for any s — the
+        # documented degeneracy.
+        for s in (2, 3, 4, 8):
+            assert eq.eq_5_9_t_pipe_open(t, L_C, W_P, s) == 8 * s
+
+    def test_eq_5_10_t_init(self, t):
+        # 2*t_RP + t_RAC + T_LCC + (t_RP + t_RR)*(s-2), s = 4.
+        assert eq.eq_5_10_t_init_open(t, L_C, W_P, 4) == 20 + 20 + 24 + 36
+
+    def test_eq_5_11_total_cycles(self, t):
+        expected = eq.eq_5_10_t_init_open(t, L_C, W_P, 2) + 1 * 16
+        assert eq.eq_5_11_cycles_open(t, L_C, W_P, 2, 8) == expected
+
+
+class TestSmcBounds:
+    def test_eq_5_15_no_delay_is_peak(self, t):
+        assert eq.eq_5_15_percent_peak(t, 1024, 2, W_P, 0.0) == 100.0
+
+    def test_eq_5_15_copy_short_vector(self, t):
+        # copy, 128 elements: base = 128*2*2 = 512 cycles; with the
+        # t_RAC startup the limit is about 96% ("about 95% of peak").
+        limit = eq.eq_5_15_percent_peak(t, 128, 2, W_P, t.t_rac)
+        assert limit == pytest.approx(100 * 512 / 532)
+
+    def test_eq_5_16_copy_reduces_to_t_rac(self, t):
+        assert eq.eq_5_16_startup_delay_cli(t, 1, 128, W_P) == t.t_rac
+
+    def test_eq_5_16_scales_with_depth_and_readers(self, t):
+        assert eq.eq_5_16_startup_delay_cli(t, 3, 64, W_P) == 2 * 64 * 2 + 20
+
+    def test_eq_5_17_adds_precharge(self, t):
+        cli = eq.eq_5_16_startup_delay_cli(t, 2, 32, W_P)
+        pi = eq.eq_5_17_startup_delay_pi(t, 2, 32, W_P)
+        assert pi - cli == t.t_rp
+
+    def test_eq_5_18_turnaround(self, t):
+        # t_RW * Ls * (s-1) / (f*s) for daxpy at f = 32.
+        assert eq.eq_5_18_turnaround_delay(t, 1024, 3, 32) == pytest.approx(
+            6 * 1024 * 2 / (32 * 3)
+        )
+
+    def test_eq_5_18_single_stream_has_no_turnaround(self, t):
+        assert eq.eq_5_18_turnaround_delay(t, 1024, 1, 32) == 0.0
+
+    def test_eq_5_18_decreases_with_depth(self, t):
+        shallow = eq.eq_5_18_turnaround_delay(t, 1024, 3, 8)
+        deep = eq.eq_5_18_turnaround_delay(t, 1024, 3, 128)
+        assert deep < shallow
+
+    def test_eq_5_1_inverts_peak_time(self, t):
+        # Two cycles per word is exactly peak.
+        assert eq.eq_5_1_percent_peak(2.0, W_P, t.t_pack) == 100.0
+        with pytest.raises(ValueError):
+            eq.eq_5_1_percent_peak(0.0, W_P, t.t_pack)

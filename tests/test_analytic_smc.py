@@ -1,0 +1,102 @@
+"""Tests for the SMC analytic bounds (Section 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.analytic.smc import smc_bound
+from repro.memsys.config import MemorySystemConfig
+
+
+@pytest.fixture
+def cli():
+    return MemorySystemConfig.cli()
+
+
+@pytest.fixture
+def pi():
+    return MemorySystemConfig.pi()
+
+
+class TestStartupBound:
+    def test_copy_startup_is_t_rac_only_cli(self, cli):
+        bound = smc_bound(cli, 1, 1, 1024, 64)
+        assert bound.startup_delay == cli.timing.t_rac
+
+    def test_copy_startup_adds_t_rp_on_pi(self, pi):
+        bound = smc_bound(pi, 1, 1, 1024, 64)
+        assert bound.startup_delay == pi.timing.t_rac + pi.timing.t_rp
+
+    def test_startup_grows_with_depth_and_readers(self, cli):
+        shallow = smc_bound(cli, 3, 1, 1024, 8).startup_delay
+        deep = smc_bound(cli, 3, 1, 1024, 128).startup_delay
+        assert deep > shallow
+
+    def test_copy_startup_limit_flat_in_depth(self, cli):
+        # Section 6: for copy the startup bound does not decrease with
+        # FIFO depth (a single read stream).
+        limits = {
+            smc_bound(cli, 1, 1, 128, f).percent_startup_limit
+            for f in (8, 16, 32, 64, 128)
+        }
+        assert len(limits) == 1
+
+    def test_short_vectors_hurt_more(self, cli):
+        short = smc_bound(cli, 3, 1, 128, 128).percent_startup_limit
+        long = smc_bound(cli, 3, 1, 1024, 128).percent_startup_limit
+        assert short < long
+
+
+class TestAsymptoticBound:
+    def test_rises_with_depth(self, cli):
+        values = [
+            smc_bound(cli, 2, 1, 1024, f).percent_asymptotic_limit
+            for f in (8, 16, 32, 64, 128)
+        ]
+        assert values == sorted(values)
+
+    def test_approaches_peak(self, cli):
+        assert smc_bound(cli, 2, 1, 4096, 512).percent_asymptotic_limit > 99
+
+    def test_read_only_loop_has_no_turnaround(self, pi):
+        bound = smc_bound(pi, 2, 0, 1024, 16)
+        assert bound.turnaround_delay == 0.0
+        assert bound.percent_asymptotic_limit == 100.0
+
+    def test_write_only_loop_has_no_turnaround(self, cli):
+        assert smc_bound(cli, 0, 1, 1024, 16).turnaround_delay == 0.0
+
+
+class TestCombinedBound:
+    def test_combined_below_both_components(self, pi):
+        bound = smc_bound(pi, 3, 1, 1024, 32)
+        assert bound.percent_combined_limit <= bound.percent_startup_limit
+        assert bound.percent_combined_limit <= bound.percent_asymptotic_limit
+
+    def test_rise_then_fall_for_short_vectors(self, cli):
+        # The Figure 7 shape for 128-element multi-read kernels.
+        values = [
+            smc_bound(cli, 3, 1, 128, f).percent_combined_limit
+            for f in (8, 16, 32, 64, 128)
+        ]
+        peak_index = values.index(max(values))
+        assert 0 < peak_index < len(values) - 1
+
+    def test_long_vectors_keep_rising_to_deep_fifos(self, cli):
+        values = [
+            smc_bound(cli, 1, 1, 1024, f).percent_combined_limit
+            for f in (8, 16, 32, 64, 128)
+        ]
+        assert values == sorted(values)
+
+    def test_invalid_arguments(self, cli):
+        with pytest.raises(ConfigurationError):
+            smc_bound(cli, 1, 1, 0, 8)
+        with pytest.raises(ConfigurationError):
+            smc_bound(cli, 1, 1, 1024, 0)
+
+    def test_copy_1024_deep_fifo_above_98(self, cli):
+        # Consistent with "the SMC exploits over 98% of the system's
+        # peak bandwidth" for 1024-element copy.
+        assert smc_bound(cli, 1, 1, 1024, 128).percent_combined_limit > 98

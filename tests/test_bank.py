@@ -1,0 +1,112 @@
+"""Tests for the per-bank sense-amp state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.rdram.bank import NEVER, Bank
+from repro.rdram.timing import RdramTiming
+
+
+@pytest.fixture
+def bank(timing):
+    return Bank(index=0, timing=timing)
+
+
+class TestActivate:
+    def test_fresh_bank_activates_immediately(self, bank):
+        assert bank.earliest_act(5) == 5
+
+    def test_act_opens_row(self, bank):
+        bank.apply_act(0, 7)
+        assert bank.is_open
+        assert bank.open_row == 7
+
+    def test_act_while_open_rejected(self, bank):
+        bank.apply_act(0, 7)
+        with pytest.raises(ProtocolError, match="open"):
+            bank.earliest_act(100)
+
+    def test_act_respects_t_rp_after_precharge(self, bank, timing):
+        bank.apply_act(0, 1)
+        # Precharge late enough that t_RP (not t_RC) is the binding
+        # constraint on the next activate.
+        bank.apply_prer(40)
+        assert bank.earliest_act(0) == 40 + timing.t_rp
+
+    def test_act_respects_t_rc(self, bank, timing):
+        bank.apply_act(0, 1)
+        bank.apply_prer(timing.t_ras)
+        # t_RC (34) dominates t_RAS + t_RP (30) here.
+        assert bank.earliest_act(0) == timing.t_rc
+
+    def test_act_before_legal_cycle_rejected(self, bank, timing):
+        bank.apply_act(0, 1)
+        bank.apply_prer(timing.t_ras)
+        with pytest.raises(ProtocolError, match="before legal"):
+            bank.apply_act(timing.t_rc - 1, 2)
+
+
+class TestColumn:
+    def test_col_requires_matching_open_row(self, bank):
+        bank.apply_act(0, 3)
+        with pytest.raises(ProtocolError, match="open row"):
+            bank.earliest_col(50, 4)
+
+    def test_col_to_closed_bank_rejected(self, bank):
+        with pytest.raises(ProtocolError):
+            bank.earliest_col(0, 0)
+
+    def test_col_respects_t_rcd(self, bank, timing):
+        bank.apply_act(10, 3)
+        assert bank.earliest_col(0, 3) == 10 + timing.t_rcd
+
+    def test_col_after_t_rcd_is_immediate(self, bank, timing):
+        bank.apply_act(0, 3)
+        assert bank.earliest_col(40, 3) == 40
+
+    def test_col_before_legal_rejected(self, bank, timing):
+        bank.apply_act(0, 3)
+        with pytest.raises(ProtocolError, match="before legal"):
+            bank.apply_col(timing.t_rcd - 1, 3)
+
+
+class TestPrecharge:
+    def test_prer_requires_open_bank(self, bank):
+        with pytest.raises(ProtocolError, match="closed"):
+            bank.earliest_prer(0)
+
+    def test_prer_respects_t_ras(self, bank, timing):
+        bank.apply_act(0, 1)
+        assert bank.earliest_prer(0) == timing.t_ras
+
+    def test_prer_respects_t_cpol(self, bank, timing):
+        bank.apply_act(0, 1)
+        bank.apply_col(30, 1)  # COL occupies cycles 30-33
+        # PRER may overlap at most t_cpol = 1 cycle with the COL packet.
+        assert bank.earliest_prer(0) == 34 - timing.t_cpol == 33
+
+    def test_prer_closes_bank(self, bank, timing):
+        bank.apply_act(0, 1)
+        bank.apply_prer(timing.t_ras)
+        assert not bank.is_open
+
+    def test_prer_before_t_ras_rejected(self, bank, timing):
+        bank.apply_act(0, 1)
+        with pytest.raises(ProtocolError, match="before legal"):
+            bank.apply_prer(timing.t_ras - 1)
+
+
+class TestReset:
+    def test_reset_clears_all_state(self, bank, timing):
+        bank.apply_act(0, 1)
+        bank.apply_col(timing.t_rcd, 1)
+        bank.apply_prer(timing.t_ras)
+        bank.reset()
+        assert not bank.is_open
+        assert bank.earliest_act(0) == 0
+
+    def test_never_sentinel_unbinds_constraints(self, bank):
+        assert NEVER < -(10**8)
+        assert bank.earliest_act(0) == 0

@@ -1,0 +1,159 @@
+"""Model-based property tests for the cache model.
+
+The cache is checked against an independent brute-force reference
+(explicit LRU lists) over random access sequences, and the placement
+logic is checked for the non-overlap guarantees the paper's
+assumptions require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.model import CacheConfig, CacheModel
+from repro.cpu.kernels import KERNELS
+from repro.cpu.streams import Alignment, place_streams
+from repro.memsys.config import MemorySystemConfig
+
+
+class ReferenceCache:
+    """Brute-force LRU/write-allocate/writeback cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.sets: List[List[Tuple[int, bool]]] = [
+            [] for __ in range(config.num_sets)
+        ]
+
+    def access(self, address: int, is_write: bool):
+        line = address // self.config.line_bytes
+        ways = self.sets[line % self.config.num_sets]
+        for index, (tag, dirty) in enumerate(ways):
+            if tag == line:
+                del ways[index]
+                ways.append((line, dirty or is_write))
+                return ("hit", None)
+        victim: Optional[Tuple[int, bool]] = None
+        if len(ways) >= self.config.associativity:
+            victim = ways.pop(0)
+        ways.append((line, is_write))
+        writeback = (
+            victim[0] * self.config.line_bytes
+            if victim and victim[1]
+            else None
+        )
+        return ("miss", writeback)
+
+
+cache_configs = st.builds(
+    CacheConfig,
+    size_bytes=st.sampled_from([256, 512, 2048]),
+    associativity=st.sampled_from([1, 2, 4]),
+    line_bytes=st.just(32),
+)
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4095),
+        st.booleans(),
+    ),
+    max_size=200,
+)
+
+
+class TestAgainstReference:
+    @given(config=cache_configs, sequence=accesses)
+    @settings(max_examples=150)
+    def test_matches_brute_force_lru(self, config, sequence):
+        model = CacheModel(config)
+        reference = ReferenceCache(config)
+        for address, is_write in sequence:
+            outcome = model.access(address, is_write)
+            kind, writeback = reference.access(address, is_write)
+            assert outcome.hit == (kind == "hit")
+            assert outcome.writeback_line == writeback
+
+    @given(config=cache_configs, sequence=accesses)
+    @settings(max_examples=50)
+    def test_capacity_invariant(self, config, sequence):
+        model = CacheModel(config)
+        for address, is_write in sequence:
+            model.access(address, is_write)
+        for ways in model._sets:
+            assert len(ways) <= config.associativity
+
+    @given(config=cache_configs, sequence=accesses)
+    @settings(max_examples=50)
+    def test_flush_is_idempotent_and_complete(self, config, sequence):
+        model = CacheModel(config)
+        dirty_lines = set()
+        for address, is_write in sequence:
+            outcome = model.access(address, is_write)
+            line = address // config.line_bytes * config.line_bytes
+            if is_write:
+                dirty_lines.add(line)
+            if outcome.writeback_line is not None:
+                dirty_lines.discard(outcome.writeback_line)
+            if outcome.evicted_line is not None:
+                dirty_lines.discard(outcome.evicted_line)
+        assert set(model.flush_dirty_lines()) == dirty_lines
+        assert model.flush_dirty_lines() == []
+
+
+kernel_names = st.sampled_from(sorted(KERNELS))
+
+
+class TestPlacementProperties:
+    @given(
+        kernel=kernel_names,
+        org=st.sampled_from(["cli", "pi"]),
+        alignment=st.sampled_from([Alignment.ALIGNED, Alignment.STAGGERED]),
+        length=st.sampled_from([16, 64, 256, 1024]),
+        stride=st.sampled_from([1, 2, 4, 7, 16]),
+    )
+    @settings(max_examples=120)
+    def test_distinct_vectors_never_share_pages(
+        self, kernel, org, alignment, length, stride
+    ):
+        """Section 4.1: distinct vectors share no DRAM pages."""
+        config = getattr(MemorySystemConfig, org)()
+        placed = place_streams(
+            KERNELS[kernel].streams,
+            config,
+            length=length,
+            stride=stride,
+            alignment=alignment,
+        )
+        page = config.geometry.page_bytes
+        page_sets: Dict[int, set] = {}
+        vectors: Dict[str, int] = {}
+        for spec, descriptor in zip(KERNELS[kernel].streams, placed):
+            base = descriptor.base
+            pages = {
+                descriptor.element_address(i) // page for i in range(length)
+            }
+            key = vectors.setdefault(spec.vector, len(vectors))
+            page_sets.setdefault(key, set()).update(pages)
+        keys = list(page_sets)
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                assert not (page_sets[a] & page_sets[b])
+
+    @given(
+        kernel=kernel_names,
+        length=st.sampled_from([16, 128, 1024]),
+        stride=st.sampled_from([1, 3, 8]),
+    )
+    @settings(max_examples=60)
+    def test_every_element_address_is_on_device(self, kernel, length, stride):
+        config = MemorySystemConfig.cli()
+        placed = place_streams(
+            KERNELS[kernel].streams, config, length=length, stride=stride
+        )
+        capacity = config.geometry.capacity_bytes
+        for descriptor in placed:
+            assert 0 <= descriptor.element_address(0)
+            assert descriptor.element_address(length - 1) + 8 <= capacity

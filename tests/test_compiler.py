@@ -1,0 +1,220 @@
+"""Tests for the compiler front end (stream detection, Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompileError
+from repro.compiler import (
+    choose_fifo_depth,
+    compile_loop,
+    detect_streams,
+    simulate_loop,
+)
+from repro.cpu.kernels import COPY, DAXPY, HYDRO, VAXPY
+from repro.cpu.streams import Direction
+
+
+def names_and_directions(source, **kwargs):
+    return [
+        (s.name, s.direction) for s in detect_streams(source, **kwargs)
+    ]
+
+
+class TestPaperKernelsFromSource:
+    def test_copy(self):
+        kernel = compile_loop("y[i] = x[i]")
+        assert [(s.vector, s.direction) for s in kernel.streams] == [
+            (s.vector, s.direction) for s in COPY.streams
+        ]
+
+    def test_daxpy(self):
+        kernel = compile_loop("y[i] = a * x[i] + y[i]")
+        assert kernel.num_read_streams == DAXPY.num_read_streams
+        assert kernel.num_write_streams == DAXPY.num_write_streams
+        vectors = [s.vector for s in kernel.streams]
+        assert vectors == ["x", "y", "y"]
+
+    def test_vaxpy(self):
+        kernel = compile_loop("y[i] = a[i]*x[i] + y[i]")
+        assert kernel.num_read_streams == VAXPY.num_read_streams
+        assert [s.vector for s in kernel.streams] == ["a", "x", "y", "y"]
+
+    def test_hydro_with_offsets(self):
+        kernel = compile_loop(
+            "x[i] = q + y[i]*(r*zx[i+10] + t*zx[i+11])"
+        )
+        assert kernel.num_read_streams == HYDRO.num_read_streams
+        offsets = sorted(
+            s.offset for s in kernel.streams if s.vector == "zx"
+        )
+        assert offsets == [10, 11]
+
+    def test_scalars_generate_no_streams(self):
+        specs = detect_streams("y[i] = a*x[i] + b")
+        assert [s.vector for s in specs] == ["x", "y"]
+
+
+class TestLanguageForms:
+    def test_augmented_assignment_is_rmw(self):
+        specs = detect_streams("y[i] += x[i]")
+        assert [(s.vector, s.direction) for s in specs] == [
+            ("x", Direction.READ),
+            ("y", Direction.READ),
+            ("y", Direction.WRITE),
+        ]
+
+    def test_scalar_accumulator(self):
+        specs = detect_streams("s += x[i]*y[i]")
+        assert all(s.direction is Direction.READ for s in specs)
+
+    def test_tuple_swap(self):
+        specs = detect_streams("x[i], y[i] = y[i], x[i]")
+        assert len(specs) == 4
+        assert sum(s.direction is Direction.WRITE for s in specs) == 2
+
+    def test_multiple_statements(self):
+        specs = detect_streams("u[i] = x[i]\nv[i] = y[i]")
+        assert [s.vector for s in specs] == ["x", "u", "y", "v"]
+
+    def test_strided_subscript(self):
+        specs = detect_streams("y[i] = x[2*i + 1]")
+        x = specs[0]
+        assert x.stride_factor == 2
+        assert x.offset == 1
+
+    def test_custom_index_name(self):
+        specs = detect_streams("y[k] = x[k]", index="k")
+        assert [s.vector for s in specs] == ["x", "y"]
+
+    def test_duplicate_reference_collapses(self):
+        specs = detect_streams("y[i] = x[i] + x[i]")
+        assert [s.vector for s in specs] == ["x", "y"]
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("y[i] = x[idx[i]]", "indirect"),
+            ("y[i] = x[i*i]", "not linear"),
+            ("y[i] = x[i] + i", "inside subscripts"),
+            ("y[i] = x[j]", "unknown name"),
+            ("y[i] = x[i-4]", "negative"),
+            ("y[i] = x[4-i]", "coefficient"),
+            ("while True: pass", "only assignments"),
+            ("y[i] = x[i] =", "does not parse"),
+            ("a = 1", "touches no arrays"),
+            ("y[i] = x[1.5]", "non-integer"),
+            ("y[i], z[i] = x[i]", "matching tuple"),
+            ("y[i] = z = x[i]", "chained"),
+            ("y[i].q = x[i]", "array elements or scalars"),
+        ],
+    )
+    def test_rejected(self, source, match):
+        with pytest.raises(CompileError, match=match):
+            detect_streams(source)
+
+
+class TestFifoSelection:
+    def test_bound_mode_prefers_deep_fifos_for_long_vectors(self):
+        kernel = compile_loop("y[i] = x[i]")
+        depth = choose_fifo_depth(kernel, "cli", length=4096)
+        assert depth >= 128
+
+    def test_simulate_mode_runs(self):
+        kernel = compile_loop("y[i] = a*x[i] + y[i]")
+        depth = choose_fifo_depth(
+            kernel, "cli", length=128, candidates=(8, 32), simulate=True
+        )
+        assert depth in (8, 32)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(CompileError):
+            choose_fifo_depth(compile_loop("y[i] = x[i]"), candidates=())
+
+
+subscript_terms = st.tuples(
+    st.integers(min_value=1, max_value=4),   # coefficient
+    st.integers(min_value=0, max_value=31),  # offset
+)
+
+
+class TestDetectionProperties:
+    @given(
+        terms=st.lists(subscript_terms, min_size=1, max_size=4),
+        write_term=subscript_terms,
+    )
+    @settings(max_examples=200)
+    def test_random_affine_loops_round_trip(self, terms, write_term):
+        """Any loop built from affine subscripts compiles, and every
+        detected stream carries exactly the coefficient/offset written
+        in the source."""
+        reads = []
+        for position, (coefficient, offset) in enumerate(terms):
+            subscript = f"{coefficient}*i"
+            if offset:
+                subscript += f" + {offset}"
+            reads.append(f"src{position}[{subscript}]")
+        w_coefficient, w_offset = write_term
+        target = f"dst[{w_coefficient}*i + {w_offset}]"
+        source = f"{target} = " + " + ".join(reads)
+        specs = detect_streams(source)
+        read_specs = [s for s in specs if s.direction is Direction.READ]
+        write_specs = [s for s in specs if s.direction is Direction.WRITE]
+        assert len(write_specs) == 1
+        assert write_specs[0].stride_factor == w_coefficient
+        assert write_specs[0].offset == w_offset
+        assert len(read_specs) == len(set(
+            (f"src{p}", c, o) for p, (c, o) in enumerate(terms)
+        ))
+        for position, (coefficient, offset) in enumerate(terms):
+            matching = [
+                s for s in read_specs
+                if s.vector == f"src{position}"
+                and s.stride_factor == coefficient
+                and s.offset == offset
+            ]
+            assert matching
+
+    @given(terms=st.lists(subscript_terms, min_size=1, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_compiled_loops_simulate_legally(self, terms):
+        """Every generated loop runs through the SMC with a clean
+        protocol audit."""
+        reads = " + ".join(
+            f"v{p}[{c}*i + {o}]" for p, (c, o) in enumerate(terms)
+        )
+        result = simulate_loop(
+            f"out[i] = {reads}",
+            "cli",
+            length=32,
+            fifo_depth=8,
+            audit=True,
+        )
+        assert result.useful_bytes > 0
+
+
+class TestSimulateLoop:
+    def test_end_to_end(self):
+        result = simulate_loop(
+            "y[i] = a*x[i] + y[i]", "pi", length=512, fifo_depth=32,
+            audit=True,
+        )
+        assert result.percent_of_peak > 80
+
+    def test_auto_depth(self):
+        result = simulate_loop("y[i] = x[i]", "cli", length=256)
+        assert result.fifo_depth in (8, 16, 32, 64, 128, 256)
+
+    def test_offset_streams_share_pages_legally(self):
+        result = simulate_loop(
+            "x[i] = q + y[i]*(r*zx[i+10] + t*zx[i+11])",
+            "cli",
+            length=512,
+            fifo_depth=32,
+            audit=True,
+        )
+        assert result.percent_of_peak > 50

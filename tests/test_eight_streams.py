@@ -1,0 +1,81 @@
+"""The paper's eight-stream configuration, simulated end to end.
+
+Section 6 quotes its most precise numbers for "a computation on
+eight, independent, unit-stride streams (seven read-streams and one
+write-stream, aligned in memory so that there are no bank conflicts
+between cacheline accesses)".  The analytic bounds reproduce those
+numbers exactly (see test_analytic_cache); here the same configuration
+runs through the simulators.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.cache import natural_order_bound
+from repro.cpu.kernels import Kernel
+from repro.cpu.streams import Direction, StreamSpec
+from repro.memsys.config import MemorySystemConfig
+from repro.naturalorder.controller import NaturalOrderController
+from repro.sim.runner import simulate_kernel
+
+STREAM8 = Kernel(
+    name="stream8",
+    expression="w[i] <- f(r0[i], ..., r6[i])",
+    streams=tuple(
+        StreamSpec(f"r{k}", f"r{k}", Direction.READ) for k in range(7)
+    ) + (StreamSpec("w", "w", Direction.WRITE),),
+)
+
+
+class TestEightStreams:
+    def test_stream_counts(self):
+        assert STREAM8.num_read_streams == 7
+        assert STREAM8.num_write_streams == 1
+
+    @pytest.mark.parametrize(
+        "org,quoted", [("pi", 88.68), ("cli", 76.11)]
+    )
+    def test_natural_order_sim_tracks_quoted_bound(self, org, quoted):
+        """The simulated baseline lands within 20% of the number the
+        paper quotes for this exact configuration."""
+        config = getattr(MemorySystemConfig, org)()
+        result = NaturalOrderController(config).run(STREAM8, length=1024)
+        assert result.percent_of_peak == pytest.approx(quoted, rel=0.20)
+
+    def test_more_streams_beat_the_four_stream_kernels(self):
+        """Section 6: 'Maximum effective bandwidth increases with the
+        number of streams in the computation' — true of the simulated
+        baseline as well as the bounds."""
+        for org in ("cli", "pi"):
+            config = getattr(MemorySystemConfig, org)()
+            eight = NaturalOrderController(config).run(STREAM8, length=1024)
+            four = natural_order_bound(config, 3, 1).percent_of_peak
+            assert eight.percent_of_peak > four * 0.95
+
+    @pytest.mark.parametrize("org", ["cli", "pi"])
+    def test_smc_stays_uniform_at_eight_streams(self, org):
+        """'Performance for the SMC is uniformly good, regardless of
+        the number of streams in the loop.'"""
+        result = simulate_kernel(
+            STREAM8, org, length=1024, fifo_depth=128, audit=True
+        )
+        assert result.percent_of_peak > 88
+
+    def test_smc_beats_natural_order_even_here(self):
+        """Even in the baseline's best case (eight streams), the SMC
+        wins on both organizations."""
+        for org in ("cli", "pi"):
+            config = getattr(MemorySystemConfig, org)()
+            natural = NaturalOrderController(config).run(STREAM8, length=1024)
+            smc = simulate_kernel(STREAM8, config, length=1024, fifo_depth=128)
+            assert smc.percent_of_peak > natural.percent_of_peak
+
+    def test_stride_four_collapse(self):
+        """The quoted stride-4 collapse (22.17/19.03%) in simulation."""
+        for org, quoted in (("pi", 22.17), ("cli", 19.03)):
+            config = getattr(MemorySystemConfig, org)()
+            result = NaturalOrderController(config).run(
+                STREAM8, length=1024, stride=4
+            )
+            assert result.percent_of_peak == pytest.approx(quoted, rel=0.35)

@@ -1,0 +1,110 @@
+"""Tests for the simulation engine and the SMC system builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.policies import BankAwarePolicy
+from repro.core.smc import build_smc_system
+from repro.cpu.kernels import COPY, DAXPY, DOT, FILL, get_kernel
+from repro.cpu.streams import Alignment, place_streams
+from repro.memsys.config import MemorySystemConfig
+from repro.sim.engine import run_smc
+
+
+class TestBuilder:
+    def test_wiring(self, cli_config):
+        system = build_smc_system(DAXPY, cli_config, length=32, fifo_depth=8)
+        assert len(system.sbu) == 3
+        assert system.msu.policy.name == "round-robin"
+        assert system.processor.length == 32
+        assert not system.device.record_trace
+
+    def test_policy_override(self, cli_config):
+        system = build_smc_system(
+            DAXPY, cli_config, length=32, fifo_depth=8, policy=BankAwarePolicy()
+        )
+        assert system.msu.policy.name == "bank-aware"
+
+    def test_descriptor_override(self, cli_config):
+        descriptors = place_streams(COPY.streams, cli_config, length=16)
+        system = build_smc_system(
+            COPY, cli_config, length=16, fifo_depth=8, descriptors=descriptors
+        )
+        assert system.descriptors == descriptors
+
+
+class TestRunSmc:
+    def test_completes_and_moves_all_data(self, cli_config):
+        system = build_smc_system(COPY, cli_config, length=64, fifo_depth=16)
+        result = run_smc(system)
+        assert result.useful_bytes == 2 * 64 * 8
+        assert result.transferred_bytes == result.useful_bytes
+        assert 0 < result.percent_of_peak <= 100
+
+    def test_audit_requires_and_uses_trace(self, cli_config):
+        system = build_smc_system(
+            COPY, cli_config, length=64, fifo_depth=16, record_trace=True
+        )
+        result = run_smc(system, audit=True)
+        assert result.cycles > 0
+
+    def test_watchdog_fires(self, cli_config):
+        system = build_smc_system(COPY, cli_config, length=256, fifo_depth=16)
+        with pytest.raises(SchedulingError, match="exceeded"):
+            run_smc(system, max_cycles=10)
+
+    def test_write_only_kernel(self, cli_config):
+        system = build_smc_system(FILL, cli_config, length=64, fifo_depth=16)
+        result = run_smc(system)
+        assert result.useful_bytes == 64 * 8
+        assert result.percent_of_peak > 50
+
+    def test_read_only_kernel(self, pi_config):
+        system = build_smc_system(DOT, pi_config, length=64, fifo_depth=16)
+        result = run_smc(system)
+        # No writes: no turnarounds; PI reads stream at near-peak.
+        assert result.percent_of_peak > 80
+
+    def test_alignment_is_reported_from_placement(self, pi_config):
+        aligned = build_smc_system(
+            COPY, pi_config, length=32, fifo_depth=8,
+            alignment=Alignment.ALIGNED,
+        )
+        staggered = build_smc_system(
+            COPY, pi_config, length=32, fifo_depth=8,
+            alignment=Alignment.STAGGERED,
+        )
+        assert run_smc(aligned).alignment == "aligned"
+        assert run_smc(staggered).alignment == "staggered"
+
+    def test_strided_run_halves_attainable(self, cli_config):
+        system = build_smc_system(COPY, cli_config, length=64, fifo_depth=16, stride=2)
+        result = run_smc(system)
+        assert result.transferred_bytes == 2 * result.useful_bytes
+        assert result.attainable_fraction == pytest.approx(0.5)
+        assert result.percent_of_attainable == pytest.approx(
+            2 * result.percent_of_peak
+        )
+
+    def test_startup_cycle_reasonable(self, cli_config):
+        system = build_smc_system(COPY, cli_config, length=64, fifo_depth=16)
+        result = run_smc(system)
+        # First element cannot appear before the page-miss latency plus
+        # the data packet round trip.
+        assert result.startup_cycles >= cli_config.timing.t_rac
+
+    def test_deterministic(self, pi_config):
+        results = [
+            run_smc(build_smc_system(DAXPY, pi_config, length=128, fifo_depth=32))
+            for __ in range(2)
+        ]
+        assert results[0] == results[1]
+
+    def test_stats_populated(self, cli_config):
+        system = build_smc_system(DAXPY, cli_config, length=128, fifo_depth=16)
+        result = run_smc(system)
+        assert result.packets_issued == 3 * 64
+        assert result.activations >= 3 * 32  # one per line per stream
+        assert result.fifo_switches > 0

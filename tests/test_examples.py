@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example runs cleanly end to end.
+
+The examples are the library's advertised entry points; each is run
+as a subprocess (the way a user would) and its output spot-checked.
+The slowest examples are trimmed via environment-independent
+arguments where possible; all finish in seconds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "SMC improvement over natural-order limit",
+    "fifo_depth_tuning.py": "1024-element vectors",
+    "scientific_strides.py": "CLI SMC",
+    "multimedia_decode.py": "sustains ~",
+    "custom_policy.py": "writes-last",
+    "compile_your_loop.py": "rejected",
+    "sparse_gather.py": "sparse, random",
+    "dram_generations.py": "Direct RDRAM",
+    "inspect_a_run.py": "protocol audit",
+}
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert EXPECTED_SNIPPETS[script] in completed.stdout

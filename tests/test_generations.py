@@ -1,0 +1,80 @@
+"""Tests for the Rambus-generation lineage model (Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.generations import GENERATIONS, RdramGeneration, generations_table
+from repro.sim.runner import simulate_kernel
+
+
+class TestPeaks:
+    def test_base_and_concurrent_peak_500_to_600(self):
+        """'...to deliver bandwidth of 500 to 600 Mbytes/sec.'"""
+        for key in ("base", "concurrent"):
+            peak = GENERATIONS[key].peak_bandwidth_bytes_per_sec
+            assert 500e6 <= peak <= 600e6
+
+    def test_direct_peak_1_6_gb(self):
+        assert GENERATIONS["direct"].peak_bandwidth_bytes_per_sec == 1.6e9
+
+    def test_direct_doubles_bus_and_raises_clock(self):
+        """'...double the external data bus width from 8/9-bits to
+        16/18-bits and increase the clock frequency from 250/300 MHz
+        to 400 MHz.'"""
+        base = GENERATIONS["base"]
+        direct = GENERATIONS["direct"]
+        assert direct.bus_bytes == 2 * base.bus_bytes
+        assert direct.clock_mhz == 400
+
+
+class TestSustainedModel:
+    def test_efficiency_improves_across_generations(self):
+        """'an improved protocol allows better bandwidth utilization'."""
+        base = GENERATIONS["base"].efficiency
+        concurrent = GENERATIONS["concurrent"].efficiency
+        direct = GENERATIONS["direct"].efficiency
+        assert base < concurrent < direct
+
+    def test_direct_first_order_limit_brackets_simulator(self):
+        """The first-order Direct figure is an upper bound the cycle
+        simulator approaches from below."""
+        model = GENERATIONS["direct"].sustained_stream_bandwidth()
+        simulated = simulate_kernel(
+            "copy", "cli", length=1024, fifo_depth=128
+        ).effective_bandwidth_bytes_per_sec
+        assert simulated <= model
+        assert simulated > 0.9 * model
+
+    def test_request_overhead_costs_bandwidth(self):
+        with_overhead = RdramGeneration(
+            "t", bus_bytes=1, clock_mhz=300, concurrent_transactions=2,
+            request_overhead_bytes=8,
+        )
+        without = RdramGeneration(
+            "t", bus_bytes=1, clock_mhz=300, concurrent_transactions=2,
+            request_overhead_bytes=0,
+        )
+        assert (
+            with_overhead.sustained_stream_bandwidth()
+            < without.sustained_stream_bandwidth()
+        )
+
+    def test_serial_protocol_exposes_full_latency(self):
+        serial = RdramGeneration(
+            "t", bus_bytes=2, clock_mhz=400, concurrent_transactions=1
+        )
+        # 32 B / (20 ns transfer + 50 ns latency).
+        assert serial.sustained_stream_bandwidth() == pytest.approx(
+            32 / 70e-9, rel=1e-6
+        )
+
+
+class TestTable:
+    def test_rows_in_lineage_order(self):
+        table = generations_table()
+        assert [row[0] for row in table.rows] == [
+            "Base RDRAM", "Concurrent RDRAM", "Direct RDRAM"
+        ]
+        efficiencies = [row[5] for row in table.rows]
+        assert efficiencies == sorted(efficiencies)

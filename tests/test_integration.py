@@ -1,0 +1,256 @@
+"""Integration tests: the paper's cross-cutting claims, end to end.
+
+Each test reproduces a sentence of the paper's Section 6 / abstract on
+the full stack (placement -> SMC or baseline controller -> device
+model -> bandwidth accounting), with the protocol auditor active where
+runtimes allow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.cache import natural_order_bound
+from repro.analytic.smc import smc_bound
+from repro.cpu.kernels import PAPER_KERNELS, get_kernel
+from repro.memsys.config import MemorySystemConfig
+from repro.naturalorder.controller import NaturalOrderController
+from repro.sim.runner import simulate_kernel
+
+ORGS = ("cli", "pi")
+
+
+def config_for(org):
+    return getattr(MemorySystemConfig, org)()
+
+
+class TestSmcBeatsNaturalOrder:
+    @pytest.mark.parametrize("org", ORGS)
+    @pytest.mark.parametrize("kernel_name", list(PAPER_KERNELS))
+    def test_deep_fifo_smc_beats_cache_limit(self, org, kernel_name):
+        """'An SMC configured with appropriate FIFO depths can always
+        exploit available memory bandwidth better than natural-order
+        cacheline accesses.'"""
+        kernel = get_kernel(kernel_name)
+        config = config_for(org)
+        smc = simulate_kernel(kernel, config, length=1024, fifo_depth=128)
+        cache = natural_order_bound(
+            config, kernel.num_read_streams, kernel.num_write_streams
+        )
+        assert smc.percent_of_peak > cache.percent_of_peak
+
+    def test_improvement_factors_match_abstract(self):
+        """'...can improve performance by factors of 1.18 to 2.25' —
+        reproduced within ten percent at both ends."""
+        factors = []
+        for kernel_name in PAPER_KERNELS:
+            kernel = get_kernel(kernel_name)
+            for org in ORGS:
+                config = config_for(org)
+                smc = simulate_kernel(kernel, config, length=1024, fifo_depth=128)
+                cache = natural_order_bound(
+                    config, kernel.num_read_streams, kernel.num_write_streams
+                ).percent_of_peak
+                factors.append(smc.percent_of_peak / cache)
+        assert min(factors) == pytest.approx(1.18, rel=0.10)
+        assert max(factors) == pytest.approx(2.25, rel=0.10)
+
+    def test_copy_long_vector_near_peak(self):
+        """'For copy with streams of 1024 elements, the SMC exploits
+        over 98% of the system's peak bandwidth' (we allow 97%)."""
+        result = simulate_kernel("copy", "cli", length=1024, fifo_depth=128)
+        assert result.percent_of_peak > 97.0
+
+    @pytest.mark.parametrize("depth", [16, 32, 64, 128])
+    @pytest.mark.parametrize("kernel_name", list(PAPER_KERNELS))
+    def test_smc_beats_natural_order_on_cli_at_appropriate_depths(
+        self, kernel_name, depth
+    ):
+        """'An SMC configured with appropriate FIFO depths can always
+        exploit available memory bandwidth better than natural-order
+        cacheline accesses' — checked at every depth from 16 up for
+        long CLI vectors (at f=8 individual kernels can resonate below
+        the bound, in our model as presumably in theirs)."""
+        kernel = get_kernel(kernel_name)
+        config = config_for("cli")
+        cache = natural_order_bound(
+            config, kernel.num_read_streams, kernel.num_write_streams
+        ).percent_of_peak
+        best_smc = max(
+            simulate_kernel(
+                kernel, config, length=1024, fifo_depth=depth,
+                alignment=alignment,
+            ).percent_of_peak
+            for alignment in ("staggered", "aligned")
+        )
+        assert best_smc > cache
+
+
+class TestFifoDepthBehavior:
+    @pytest.mark.parametrize("kernel_name", ["daxpy", "vaxpy"])
+    def test_long_vectors_favor_deep_fifos(self, kernel_name):
+        shallow = simulate_kernel(kernel_name, "cli", length=1024, fifo_depth=8)
+        deep = simulate_kernel(kernel_name, "cli", length=1024, fifo_depth=128)
+        assert deep.percent_of_peak > shallow.percent_of_peak
+
+    def test_short_vectors_penalize_deep_fifos(self):
+        """Figure 7's descending 128-element curves: the startup delay
+        makes the deepest FIFO worse than a mid-depth one."""
+        mid = simulate_kernel("vaxpy", "cli", length=128, fifo_depth=32)
+        deep = simulate_kernel("vaxpy", "cli", length=128, fifo_depth=128)
+        assert mid.percent_of_peak > deep.percent_of_peak
+
+    @pytest.mark.parametrize("org", ORGS)
+    def test_deep_fifo_staggered_delivers_over_89_percent_of_bound(self, org):
+        """'With deep FIFOs (64-128 elements) and long vectors, the SMC
+        ... yields over 89% of the attainable bandwidth (defined by the
+        analytic SMC performance bounds) for all benchmarks.'"""
+        config = config_for(org)
+        for kernel_name in PAPER_KERNELS:
+            kernel = get_kernel(kernel_name)
+            result = simulate_kernel(kernel, config, length=1024, fifo_depth=128)
+            bound = smc_bound(
+                config, kernel.num_read_streams, kernel.num_write_streams,
+                1024, 128,
+            ).percent_combined_limit
+            assert result.percent_of_peak > 0.89 * bound
+
+
+class TestAlignmentSensitivity:
+    def test_pi_shallow_fifos_punish_aligned_vectors(self):
+        """'A larger performance difference arises between the maximum
+        and minimum bank-conflict simulations for SMC systems with PI
+        organizations and FIFO depths of 32 elements or fewer.'"""
+        for depth in (8, 16, 32):
+            aligned = simulate_kernel(
+                "daxpy", "pi", length=1024, fifo_depth=depth, alignment="aligned"
+            )
+            staggered = simulate_kernel(
+                "daxpy", "pi", length=1024, fifo_depth=depth, alignment="staggered"
+            )
+            assert staggered.percent_of_peak - aligned.percent_of_peak > 5
+
+    def test_cli_deep_fifos_insensitive_to_alignment(self):
+        """'Vector alignment has little impact ... for SMC systems with
+        CLI memory organizations ... with FIFOs deeper than 16
+        elements.'"""
+        for depth in (32, 64, 128):
+            aligned = simulate_kernel(
+                "daxpy", "cli", length=1024, fifo_depth=depth, alignment="aligned"
+            )
+            staggered = simulate_kernel(
+                "daxpy", "cli", length=1024, fifo_depth=depth, alignment="staggered"
+            )
+            assert abs(
+                staggered.percent_of_peak - aligned.percent_of_peak
+            ) < 6
+
+    def test_deep_fifo_good_even_with_bad_placement(self):
+        """'With deep FIFOs and long vectors, the SMC can deliver good
+        performance even for a sub-optimal data placement.'"""
+        for org in ORGS:
+            aligned = simulate_kernel(
+                "vaxpy", org, length=1024, fifo_depth=128, alignment="aligned"
+            )
+            assert aligned.percent_of_peak > 85
+
+
+class TestProtocolSoundness:
+    @pytest.mark.parametrize("org", ORGS)
+    @pytest.mark.parametrize("kernel_name", list(PAPER_KERNELS))
+    def test_smc_traces_audit_clean(self, org, kernel_name):
+        result = simulate_kernel(
+            kernel_name, org, length=256, fifo_depth=32, audit=True
+        )
+        assert result.cycles > 0
+
+    @pytest.mark.parametrize("org", ORGS)
+    def test_aligned_and_strided_traces_audit_clean(self, org):
+        simulate_kernel(
+            "vaxpy", org, length=128, fifo_depth=16, alignment="aligned",
+            audit=True,
+        )
+        simulate_kernel(
+            "vaxpy", org, length=128, fifo_depth=32, stride=12, audit=True
+        )
+
+    @pytest.mark.parametrize(
+        "policy", ["round-robin", "bank-aware", "speculative-precharge"]
+    )
+    def test_all_policies_audit_clean(self, policy):
+        for org in ORGS:
+            result = simulate_kernel(
+                "daxpy", org, length=256, fifo_depth=32, policy=policy,
+                audit=True,
+            )
+            assert result.percent_of_peak > 30
+
+
+class TestPolicyExtensions:
+    def test_bank_aware_helps_conflicted_cli(self):
+        """Hong's thesis policy: avoiding busy banks recovers bandwidth
+        lost to conflicts on a worst-case placement (aligned vectors,
+        shallow FIFOs on CLI)."""
+        base = simulate_kernel(
+            "daxpy", "cli", length=1024, fifo_depth=8, alignment="aligned"
+        )
+        aware = simulate_kernel(
+            "daxpy", "cli", length=1024, fifo_depth=8, alignment="aligned",
+            policy="bank-aware",
+        )
+        assert aware.percent_of_peak > base.percent_of_peak
+
+    def test_bank_aware_never_catastrophic(self):
+        """The heuristic can lose to round-robin in resonant
+        placements, but must stay within a third of it everywhere."""
+        for org in ORGS:
+            for depth in (8, 16, 64):
+                for alignment in ("aligned", "staggered"):
+                    base = simulate_kernel(
+                        "vaxpy", org, length=1024, fifo_depth=depth,
+                        alignment=alignment,
+                    )
+                    aware = simulate_kernel(
+                        "vaxpy", org, length=1024, fifo_depth=depth,
+                        alignment=alignment, policy="bank-aware",
+                    )
+                    assert aware.percent_of_peak > (
+                        0.66 * base.percent_of_peak
+                    )
+
+    def test_policies_do_not_change_data_moved(self):
+        results = {
+            policy: simulate_kernel(
+                "daxpy", "pi", length=256, fifo_depth=32, policy=policy
+            )
+            for policy in ("round-robin", "bank-aware", "speculative-precharge")
+        }
+        bytes_moved = {r.transferred_bytes for r in results.values()}
+        assert len(bytes_moved) == 1
+
+
+class TestRobustness:
+    def test_smc_uniform_across_kernels(self):
+        """'Performance for the SMC is uniformly good, regardless of
+        the number of streams in the loop': spread under 6 points at
+        deep FIFOs on long vectors."""
+        for org in ORGS:
+            values = [
+                simulate_kernel(k, org, length=1024, fifo_depth=128).percent_of_peak
+                for k in PAPER_KERNELS
+            ]
+            assert max(values) - min(values) < 6
+
+    def test_natural_order_spread_is_wide(self):
+        """In contrast, the natural-order limit varies strongly with
+        the stream count (44% to 80%)."""
+        values = [
+            natural_order_bound(
+                config_for(org),
+                get_kernel(k).num_read_streams,
+                get_kernel(k).num_write_streams,
+            ).percent_of_peak
+            for org in ORGS
+            for k in PAPER_KERNELS
+        ]
+        assert max(values) - min(values) > 25

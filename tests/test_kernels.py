@@ -1,0 +1,110 @@
+"""Tests for the benchmark kernels (Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.cpu.kernels import (
+    COPY,
+    DAXPY,
+    DOT,
+    FILL,
+    HYDRO,
+    KERNELS,
+    PAPER_KERNELS,
+    SCALE,
+    SWAP,
+    TRIAD,
+    VAXPY,
+    Kernel,
+    get_kernel,
+)
+from repro.cpu.streams import Direction, StreamSpec
+
+
+class TestPaperKernels:
+    def test_paper_suite_contents(self):
+        assert set(PAPER_KERNELS) == {"copy", "daxpy", "hydro", "vaxpy"}
+
+    @pytest.mark.parametrize(
+        "kernel,s_r,s_w",
+        [(COPY, 1, 1), (DAXPY, 2, 1), (HYDRO, 3, 1), (VAXPY, 3, 1)],
+    )
+    def test_stream_counts(self, kernel, s_r, s_w):
+        assert kernel.num_read_streams == s_r
+        assert kernel.num_write_streams == s_w
+        assert kernel.num_streams == s_r + s_w
+
+    def test_daxpy_y_is_read_modify_write(self):
+        vectors = [s.vector for s in DAXPY.streams]
+        assert vectors.count("y") == 2
+
+    def test_vaxpy_reads_precede_write(self):
+        directions = [s.direction for s in VAXPY.streams]
+        assert directions == [
+            Direction.READ, Direction.READ, Direction.READ, Direction.WRITE
+        ]
+
+    def test_hydro_models_two_zx_streams(self):
+        names = [s.name for s in HYDRO.streams]
+        assert "zx10" in names and "zx11" in names
+
+
+class TestExtraKernels:
+    def test_fill_is_write_only(self):
+        assert FILL.num_read_streams == 0
+        assert FILL.num_write_streams == 1
+
+    def test_dot_is_read_only(self):
+        assert DOT.num_write_streams == 0
+
+    def test_scale_is_single_vector_rmw(self):
+        assert {s.vector for s in SCALE.streams} == {"x"}
+
+    def test_swap_has_two_rmw_vectors(self):
+        assert SWAP.num_streams == 4
+        assert {s.vector for s in SWAP.streams} == {"x", "y"}
+
+    def test_triad_matches_figure5_shape(self):
+        # The three-stream loop of Figures 5/6: rd, rd, wr.
+        assert TRIAD.num_read_streams == 2
+        assert TRIAD.num_write_streams == 1
+
+
+class TestKernelMechanics:
+    def test_access_order_is_natural(self):
+        order = list(COPY.access_order(2))
+        assert [(i, s.name) for i, s in order] == [
+            (0, "x"), (0, "y"), (1, "x"), (1, "y")
+        ]
+
+    def test_get_kernel(self):
+        assert get_kernel("daxpy") is DAXPY
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(StreamError, match="unknown kernel"):
+            get_kernel("nope")
+
+    def test_all_kernels_registered(self):
+        assert set(PAPER_KERNELS) <= set(KERNELS)
+        assert len(KERNELS) >= 9
+
+    def test_duplicate_stream_names_rejected(self):
+        with pytest.raises(StreamError, match="duplicate"):
+            Kernel(
+                name="bad",
+                expression="",
+                streams=(
+                    StreamSpec("x", "x", Direction.READ),
+                    StreamSpec("x", "x", Direction.WRITE),
+                ),
+            )
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(StreamError, match="no streams"):
+            Kernel(name="bad", expression="", streams=())
+
+    def test_expressions_documented(self):
+        for kernel in KERNELS.values():
+            assert kernel.expression

@@ -1,0 +1,117 @@
+"""Tests for trace-derived metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.smc import build_smc_system
+from repro.cpu.kernels import COPY, DAXPY, VAXPY
+from repro.memsys.config import MemorySystemConfig
+from repro.rdram.device import RdramDevice
+from repro.rdram.packets import BusDirection
+from repro.sim.engine import run_smc
+from repro.sim.metrics import bank_imbalance, measure_trace
+
+
+def run_traced(kernel, org="cli", length=256, depth=32, alignment="staggered"):
+    from repro.cpu.streams import Alignment
+
+    config = getattr(MemorySystemConfig, org)()
+    system = build_smc_system(
+        kernel, config, length=length, fifo_depth=depth,
+        alignment=Alignment(alignment), record_trace=True,
+    )
+    result = run_smc(system)
+    return system, result
+
+
+class TestMeasureTrace:
+    def test_agrees_with_simulator_bandwidth(self):
+        system, result = run_traced(DAXPY)
+        metrics = measure_trace(system.device.trace)
+        # Same packets, slightly different end definition; within 3%.
+        assert metrics.percent_of_peak == pytest.approx(
+            result.percent_of_peak, rel=0.03
+        )
+        assert metrics.data_packets == result.packets_issued
+
+    def test_bus_utilizations_bounded(self):
+        system, __ = run_traced(VAXPY, org="pi")
+        metrics = measure_trace(system.device.trace)
+        for value in (
+            metrics.data_bus_utilization,
+            metrics.row_bus_utilization,
+            metrics.col_bus_utilization,
+        ):
+            assert 0.0 <= value <= 1.0
+        # Command buses never exceed the data bus for dense streams.
+        assert metrics.col_bus_utilization <= metrics.data_bus_utilization + 1e-9
+
+    def test_turnarounds_counted(self):
+        system, __ = run_traced(COPY)
+        metrics = measure_trace(system.device.trace)
+        assert metrics.turnarounds > 0
+        assert metrics.turnaround_cycles >= metrics.turnarounds * 0
+
+    def test_per_bank_stats(self):
+        system, result = run_traced(COPY, org="cli")
+        metrics = measure_trace(system.device.trace)
+        assert sum(
+            stats.column_accesses for stats in metrics.bank_stats.values()
+        ) == result.packets_issued
+        assert sum(
+            stats.activations for stats in metrics.bank_stats.values()
+        ) == result.activations
+
+    def test_timeline_shows_steady_state(self):
+        system, __ = run_traced(DAXPY, length=1024, depth=64)
+        metrics = measure_trace(system.device.trace, window=128)
+        assert len(metrics.utilization_timeline) > 4
+        steady = [u for __, u in metrics.utilization_timeline[1:-1]]
+        assert max(steady) > 0.8
+
+    def test_empty_trace(self):
+        metrics = measure_trace([])
+        assert metrics.cycles == 0
+        assert metrics.percent_of_peak == 0.0
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            measure_trace([], window=0)
+
+    def test_col_carried_precharges_not_charged_to_row_bus(self):
+        device = RdramDevice(record_trace=True)
+        device.issue_act(0, 0, 0)
+        device.issue_col(0, 0, 0, 0, BusDirection.READ, precharge=True)
+        metrics = measure_trace(device.trace)
+        # Only the ACT occupies the row bus.
+        assert metrics.row_bus_utilization == pytest.approx(
+            4 / metrics.cycles
+        )
+        assert metrics.bank_stats[0].precharges == 1
+
+
+class TestBankImbalance:
+    def test_staggered_streams_balance_banks(self):
+        system, __ = run_traced(DAXPY, org="cli", length=1024)
+        metrics = measure_trace(system.device.trace)
+        assert bank_imbalance(metrics) < 1.1
+
+    def test_strided_streams_concentrate_banks(self):
+        from repro.cpu.streams import Alignment
+
+        config = MemorySystemConfig.cli()
+        system = build_smc_system(
+            VAXPY, config, length=256, fifo_depth=32, stride=16,
+            record_trace=True,
+        )
+        run_smc(system)
+        metrics = measure_trace(system.device.trace)
+        # Stride 16 on CLI concentrates each stream on two banks;
+        # counting untouched banks, the imbalance is pronounced.
+        assert bank_imbalance(metrics, num_banks=8) > 1.2
+        assert len(metrics.bank_stats) < 8
+
+    def test_empty(self):
+        assert bank_imbalance(measure_trace([])) == 1.0

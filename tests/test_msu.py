@@ -1,0 +1,131 @@
+"""Tests for the Memory Scheduling Unit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.msu import IDLE, ArrivalEvent, MemorySchedulingUnit
+from repro.core.policies import RoundRobinPolicy
+from repro.core.sbu import StreamBufferUnit
+from repro.cpu.kernels import COPY, DAXPY
+from repro.cpu.streams import Alignment, place_streams
+from repro.memsys.config import MemorySystemConfig, PagePolicy
+from repro.rdram.device import RdramDevice
+from repro.rdram.packets import BusDirection, ColPacket
+
+
+def make_msu(kernel=DAXPY, org="cli", length=32, depth=8, alignment=Alignment.STAGGERED):
+    config = getattr(MemorySystemConfig, org)()
+    descriptors = place_streams(kernel.streams, config, length=length, alignment=alignment)
+    device = RdramDevice(
+        timing=config.timing, geometry=config.geometry, record_trace=True
+    )
+    sbu = StreamBufferUnit.from_descriptors(descriptors, config, depth)
+    return device, sbu, MemorySchedulingUnit(device, sbu, RoundRobinPolicy())
+
+
+class TestIssuing:
+    def test_first_tick_issues_act_and_col(self):
+        device, sbu, msu = make_msu()
+        events = msu.tick(0)
+        assert len(events) == 1
+        assert isinstance(events[0], ArrivalEvent)
+        assert msu.packets_issued == 1
+        assert msu.activations == 1
+
+    def test_read_events_report_fifo_and_elements(self):
+        device, sbu, msu = make_msu()
+        event = msu.tick(0)[0]
+        assert event.fifo_index == 0
+        assert event.elements == 2
+        assert event.cycle > 0
+
+    def test_writes_produce_no_events(self):
+        device, sbu, msu = make_msu(depth=2)
+        # Fill the write FIFO and let the reads exhaust FIFO capacity;
+        # the third decision must service the write FIFO.
+        sbu[2].cpu_push()
+        sbu[2].cpu_push()
+        events = []
+        while msu.next_decision < IDLE:
+            events.extend(msu.tick(msu.next_decision))
+        writes = [
+            p for p in device.trace
+            if isinstance(p, ColPacket) and p.command.value == "WR"
+        ]
+        assert len(writes) == 1
+        # Only the two read packets produced arrival events.
+        assert len(events) == 2
+
+    def test_idle_when_nothing_serviceable(self):
+        device, sbu, msu = make_msu(depth=2)
+        while msu.next_decision < IDLE:
+            msu.tick(msu.next_decision)
+        # Both read FIFOs full (2 in flight each), write FIFO empty.
+        assert msu.packets_issued == 2
+        assert msu.next_decision == IDLE
+
+    def test_wake_rearms_idle_msu(self):
+        device, sbu, msu = make_msu(depth=2)
+        while msu.next_decision < IDLE:
+            msu.tick(msu.next_decision)
+        msu.wake(50)
+        assert msu.next_decision == 50
+
+    def test_wake_does_not_preempt_pacing(self):
+        device, sbu, msu = make_msu()
+        msu.tick(0)
+        pending = msu.next_decision
+        msu.wake(0)
+        assert msu.next_decision == pending
+
+    def test_tick_before_decision_time_is_noop(self):
+        device, sbu, msu = make_msu()
+        msu.tick(0)
+        issued = msu.packets_issued
+        msu.tick(msu.next_decision - 1)
+        assert msu.packets_issued == issued
+
+
+class TestStats:
+    def test_fifo_switches_counted(self):
+        device, sbu, msu = make_msu(depth=2)
+        msu.tick(0)
+        msu.tick(1)
+        assert msu.fifo_switches == 1
+
+    def test_bank_conflicts_counted_on_aligned_pi(self):
+        device, sbu, msu = make_msu(
+        	kernel=COPY, org="pi", length=64, depth=4, alignment=Alignment.ALIGNED
+        )
+        cycle = 0
+        while not msu.done and cycle < 20000:
+            for event in msu.tick(cycle):
+                sbu[event.fifo_index].note_arrival(event.elements)
+            for fifo in sbu:
+                while fifo.cpu_can_pop():
+                    fifo.cpu_pop()
+                if not fifo.is_read and not fifo.exhausted and fifo.cpu_can_push():
+                    fifo.cpu_push()
+            msu.wake(cycle + 1)
+            cycle += 1
+        assert msu.done
+        # Aligned vectors share bank 0: switching FIFOs must conflict.
+        assert msu.bank_conflicts > 0
+
+    def test_done_tracks_exhaustion(self):
+        device, sbu, msu = make_msu(kernel=COPY, length=4, depth=8)
+        assert not msu.done
+        cycle = 0
+        while not msu.done and cycle < 1000:
+            for event in msu.tick(cycle):
+                sbu[event.fifo_index].note_arrival(event.elements)
+            for fifo in sbu:
+                while fifo.cpu_can_pop():
+                    fifo.cpu_pop()
+                if not fifo.is_read and not fifo.exhausted and fifo.cpu_can_push():
+                    fifo.cpu_push()
+            msu.wake(cycle + 1)
+            cycle += 1
+        assert msu.done
+        assert msu.last_data_end > 0

@@ -1,0 +1,48 @@
+"""Tests for packet record types."""
+
+from __future__ import annotations
+
+from repro.rdram.packets import (
+    BusDirection,
+    ColCommand,
+    ColPacket,
+    DataPacket,
+    RowCommand,
+    RowPacket,
+)
+
+
+class TestPacketArithmetic:
+    def test_row_packet_spans_four_cycles(self):
+        packet = RowPacket(RowCommand.ACT, bank=0, row=5, start=12)
+        assert packet.end == 16
+
+    def test_col_packet_spans_four_cycles(self):
+        packet = ColPacket(ColCommand.RD, bank=1, row=0, column=3, start=8)
+        assert packet.end == 12
+
+    def test_data_packet_links_source_col(self):
+        packet = DataPacket(BusDirection.READ, bank=2, start=30, source_col_start=20)
+        assert packet.end == 34
+        assert packet.source_col_start == 20
+
+
+class TestPacketSemantics:
+    def test_prer_has_no_row(self):
+        packet = RowPacket(RowCommand.PRER, bank=0, row=None, start=0)
+        assert packet.row is None
+
+    def test_via_col_defaults_false(self):
+        packet = RowPacket(RowCommand.PRER, bank=0, row=None, start=0)
+        assert not packet.via_col
+
+    def test_command_vocabulary(self):
+        assert {c.value for c in RowCommand} == {"ACT", "PRER"}
+        assert {c.value for c in ColCommand} == {"RD", "WR", "RET"}
+        assert {d.value for d in BusDirection} == {"read", "write"}
+
+    def test_packets_are_hashable_values(self):
+        a = RowPacket(RowCommand.ACT, bank=0, row=1, start=0)
+        b = RowPacket(RowCommand.ACT, bank=0, row=1, start=0)
+        assert a == b
+        assert len({a, b}) == 1

@@ -1,0 +1,132 @@
+"""Tests for the in-order bandwidth-matched processor model."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.cpu.kernels import COPY, DAXPY, DOT
+from repro.cpu.processor import MATCHED_ACCESS_INTERVAL, StreamProcessor
+
+
+class FakePort:
+    """A StreamPort with scriptable readiness."""
+
+    def __init__(self, pop_ready=True, push_ready=True):
+        self.pop_ready = pop_ready
+        self.push_ready = push_ready
+        self.pops = []
+        self.pushes = []
+
+    def cpu_can_pop(self, index):
+        return self.pop_ready
+
+    def cpu_pop(self, index):
+        self.pops.append(index)
+
+    def cpu_can_push(self, index):
+        return self.push_ready
+
+    def cpu_push(self, index):
+        self.pushes.append(index)
+
+
+class TestPacing:
+    def test_matched_interval_is_two_cycles(self):
+        assert MATCHED_ACCESS_INTERVAL == 2
+
+    def test_one_access_per_interval(self):
+        proc = StreamProcessor(COPY, length=2)
+        port = FakePort()
+        retired = [proc.tick(cycle, port) for cycle in range(8)]
+        # Accesses retire at cycles 0, 2, 4, 6.
+        assert retired == [True, False, True, False, True, False, True, False]
+        assert proc.done
+
+    def test_natural_order_interleaves_streams(self):
+        proc = StreamProcessor(COPY, length=2)
+        port = FakePort()
+        for cycle in range(8):
+            proc.tick(cycle, port)
+        assert port.pops == [0, 0]
+        assert port.pushes == [1, 1]
+
+    def test_respects_custom_interval(self):
+        proc = StreamProcessor(DOT, length=2, access_interval=5)
+        port = FakePort()
+        for cycle in range(25):
+            proc.tick(cycle, port)
+        assert proc.last_retire_cycle == 15  # accesses at 0, 5, 10, 15
+
+
+class TestBlocking:
+    def test_blocked_pop_stalls(self):
+        proc = StreamProcessor(COPY, length=1)
+        port = FakePort(pop_ready=False)
+        for cycle in range(10):
+            proc.tick(cycle, port)
+        assert proc.accesses_retired == 0
+        assert proc.next_attempt_cycle is None
+
+    def test_stall_cycles_counted_from_block_start(self):
+        proc = StreamProcessor(COPY, length=1)
+        port = FakePort(pop_ready=False)
+        proc.tick(0, port)
+        proc.tick(1, port)
+        port.pop_ready = True
+        proc.tick(7, port)
+        assert proc.stall_cycles == 7
+        assert proc.first_element_cycle == 7
+
+    def test_stall_accounting_is_skip_safe(self):
+        # Visiting only the block cycle and the wake cycle must count
+        # the same stall as visiting every cycle in between.
+        dense = StreamProcessor(COPY, length=1)
+        sparse = StreamProcessor(COPY, length=1)
+        port_dense, port_sparse = FakePort(pop_ready=False), FakePort(pop_ready=False)
+        for cycle in range(6):
+            dense.tick(cycle, port_dense)
+        sparse.tick(0, port_sparse)
+        port_dense.pop_ready = port_sparse.pop_ready = True
+        dense.tick(6, port_dense)
+        sparse.tick(6, port_sparse)
+        assert dense.stall_cycles == sparse.stall_cycles == 6
+
+    def test_blocked_push(self):
+        proc = StreamProcessor(COPY, length=1)
+        port = FakePort(push_ready=False)
+        proc.tick(0, port)  # pop x[0]
+        proc.tick(2, port)  # blocked push
+        assert proc.accesses_retired == 1
+        port.push_ready = True
+        proc.tick(3, port)
+        assert proc.done
+
+
+class TestCompletion:
+    def test_done_after_all_accesses(self):
+        proc = StreamProcessor(DAXPY, length=4)
+        port = FakePort()
+        cycle = 0
+        while not proc.done:
+            proc.tick(cycle, port)
+            cycle += 1
+        assert proc.accesses_retired == 12  # 3 streams x 4 elements
+        assert len(port.pops) == 8
+        assert len(port.pushes) == 4
+
+    def test_done_processor_ignores_ticks(self):
+        proc = StreamProcessor(COPY, length=1)
+        port = FakePort()
+        for cycle in range(6):
+            proc.tick(cycle, port)
+        assert proc.done
+        assert not proc.tick(100, port)
+        assert proc.next_attempt_cycle is None
+
+    def test_first_and_last_retire_cycles(self):
+        proc = StreamProcessor(COPY, length=2)
+        port = FakePort()
+        for cycle in range(10):
+            proc.tick(cycle, port)
+        assert proc.first_element_cycle == 0
+        assert proc.last_retire_cycle == 6

@@ -1,0 +1,73 @@
+"""Tests for table and chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.rendering import ExperimentTable, render_chart
+
+
+def sample_table():
+    table = ExperimentTable("Sweep", ("x", "low", "high"))
+    table.add_row(1, 0.0, 100.0)
+    table.add_row(2, 25.0, 75.0)
+    table.add_row(3, 50.0, 50.0)
+    return table
+
+
+class TestRenderChart:
+    def test_axis_labels_and_legend(self):
+        text = render_chart(sample_table())
+        assert "(chart)" in text
+        assert " 100.0 |" in text
+        assert "* = low" in text
+        assert "o = high" in text
+        assert "x: 1..3" in text
+
+    def test_extremes_land_on_border_rows(self):
+        text = render_chart(sample_table(), height=10)
+        lines = text.splitlines()
+        top = next(line for line in lines if line.startswith(" 100.0"))
+        bottom = next(line for line in lines if line.startswith("   0.0"))
+        assert "o" in top     # high series at x=1 is 100
+        assert "*" in bottom  # low series at x=1 is 0
+
+    def test_overlap_marker(self):
+        text = render_chart(sample_table(), height=10)
+        # At x=3 both series are 50: rendered as the overlap glyph.
+        mid = next(
+            line for line in text.splitlines() if line.startswith("  50.0")
+        )
+        assert "=" in mid
+
+    def test_values_clamped_to_range(self):
+        table = ExperimentTable("T", ("x", "y"))
+        table.add_row(1, 250.0)
+        table.add_row(2, -10.0)
+        text = render_chart(table, height=4)
+        assert text  # no exception; both rows clamp into range
+
+    def test_none_cells_skipped(self):
+        table = ExperimentTable("T", ("x", "y"))
+        table.add_row(1, None)
+        table.add_row(2, 40.0)
+        assert "*" in render_chart(table)
+
+    def test_empty_table(self):
+        assert "(no data)" in render_chart(ExperimentTable("T", ("x", "y")))
+
+
+class TestCliCharts:
+    def test_charts_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        main(["figure8", "--charts"])
+        out = capsys.readouterr().out
+        assert "(chart)" in out
+
+    def test_non_chartable_experiments_skip_charts(self, capsys):
+        from repro.experiments.cli import main
+
+        main(["figure1", "--charts"])
+        out = capsys.readouterr().out
+        assert "(chart)" not in out

@@ -1,0 +1,44 @@
+"""Tests for the reproduction report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import generate_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report()
+
+    def test_markdown_structure(self, report):
+        assert report.startswith("# Reproduction report")
+        assert "| source | claim | paper | this build | verdict |" in report
+
+    def test_all_claims_present(self, report):
+        for fragment in (
+            "88.68", "76.11", "22.17", "19.03",
+            "copy, 1024 elements", "improvement factors",
+            "natural-order range", "strided SMC",
+        ):
+            assert fragment in report
+
+    def test_no_diff_verdicts(self, report):
+        """Every claim lands PASS or NEAR on this build."""
+        assert " DIFF |" not in report
+        assert report.count("PASS") >= 5
+
+    def test_summary_line_counts_rows(self, report):
+        rows = report.count("\n| Section") + report.count("\n| Abstract")
+        summary = report.splitlines()[-1]
+        total = int(summary.split("/")[1].split(" ")[0])
+        assert total == rows
+
+    def test_cli_flag_writes_file(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        target = tmp_path / "REPORT.md"
+        assert main(["figure1", "--report", str(target)]) == 0
+        assert target.exists()
+        assert "Reproduction report" in target.read_text()

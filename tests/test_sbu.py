@@ -1,0 +1,74 @@
+"""Tests for the Stream Buffer Unit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.core.sbu import StreamBufferUnit
+from repro.cpu.kernels import DAXPY
+from repro.cpu.streams import Alignment, Direction, StreamDescriptor, place_streams
+from repro.memsys.config import MemorySystemConfig
+
+
+@pytest.fixture
+def sbu(cli_config):
+    descriptors = place_streams(DAXPY.streams, cli_config, length=32)
+    return StreamBufferUnit.from_descriptors(descriptors, cli_config, fifo_depth=8)
+
+
+class TestConstruction:
+    def test_one_fifo_per_stream(self, sbu):
+        assert len(sbu) == 3
+        names = [fifo.descriptor.name for fifo in sbu]
+        assert names == ["x", "y.rd", "y.wr"]
+
+    def test_empty_sbu_rejected(self):
+        with pytest.raises(StreamError, match="at least one"):
+            StreamBufferUnit([])
+
+    def test_duplicate_names_rejected(self, cli_config):
+        descriptor = StreamDescriptor(
+            "x", base=0, stride=1, length=8, direction=Direction.READ
+        )
+        fifos = StreamBufferUnit.from_descriptors(
+            [descriptor], cli_config, fifo_depth=8
+        ).fifos
+        with pytest.raises(StreamError, match="duplicate"):
+            StreamBufferUnit(fifos + fifos)
+
+    def test_indexing_and_iteration(self, sbu):
+        assert sbu[0] is list(sbu)[0]
+
+
+class TestStreamPort:
+    def test_pop_path(self, sbu):
+        assert not sbu.cpu_can_pop(0)
+        sbu[0].note_issue()
+        sbu[0].note_arrival(2)
+        assert sbu.cpu_can_pop(0)
+        sbu.cpu_pop(0)
+        assert sbu[0].occupancy == 1
+
+    def test_push_path(self, sbu):
+        assert sbu.cpu_can_push(2)
+        sbu.cpu_push(2)
+        assert sbu[2].occupancy == 1
+
+    def test_all_drained(self, cli_config):
+        descriptors = place_streams(DAXPY.streams, cli_config, length=4)
+        sbu = StreamBufferUnit.from_descriptors(descriptors, cli_config, fifo_depth=8)
+        assert not sbu.all_drained
+        for fifo in sbu:
+            if fifo.is_read:
+                while not fifo.exhausted:
+                    fifo.note_issue()
+                fifo.note_arrival(4)
+                for __ in range(4):
+                    fifo.cpu_pop()
+            else:
+                for __ in range(4):
+                    fifo.cpu_push()
+                while not fifo.exhausted:
+                    fifo.note_issue()
+        assert sbu.all_drained

@@ -1,0 +1,79 @@
+"""Tests for the repro-simulate command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cli import main
+
+
+class TestBasicRuns:
+    def test_default_smc_run(self, capsys):
+        assert main(["copy", "--length", "128", "--fifo-depth", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel       : copy" in out
+        assert "% of peak" in out
+
+    def test_baseline_run(self, capsys):
+        assert main(
+            ["daxpy", "--baseline", "natural-order", "--length", "128"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "controller   : natural-order" in out
+
+    def test_pi_org(self, capsys):
+        assert main(["vaxpy", "--org", "pi", "--length", "128"]) == 0
+        assert "PI / open-page" in capsys.readouterr().out
+
+    def test_strided_reports_attainable(self, capsys):
+        assert main(["copy", "--stride", "4", "--length", "128"]) == 0
+        assert "attainable" in capsys.readouterr().out
+
+
+class TestOptions:
+    def test_bounds(self, capsys):
+        assert main(["daxpy", "--length", "128", "--bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "natural-order" in out and "SMC combined" in out
+
+    def test_metrics_and_audit(self, capsys):
+        assert main(
+            ["copy", "--length", "128", "--metrics", "--audit"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "audit        : OK" in out
+        assert "bus load" in out
+
+    def test_gantt(self, capsys):
+        assert main(["copy", "--length", "64", "--gantt", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle 0" in out
+        assert "data " in out
+
+    def test_policy_selection(self, capsys):
+        assert main(
+            ["daxpy", "--length", "128", "--policy", "bank-aware"]
+        ) == 0
+        assert "bank-aware" in capsys.readouterr().out
+
+    def test_refresh(self, capsys):
+        assert main(["copy", "--length", "1024", "--refresh"]) == 0
+        out = capsys.readouterr().out
+        refreshes = int(out.split("refreshes")[0].rsplit(",", 1)[1])
+        assert refreshes > 0
+
+    def test_compile_mode(self, capsys):
+        assert main(
+            ["y[i] = a*x[i] + y[i]", "--compile", "--length", "128"]
+        ) == 0
+        assert "kernel       : loop" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_unknown_kernel_reports_error(self, capsys):
+        assert main(["fft", "--length", "64"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_loop_source(self, capsys):
+        assert main(["y[i] = x[i*i]", "--compile"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,85 @@
+"""Tests for the parameter-sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.sweep import Sweep, pivot
+
+
+class TestSweep:
+    def test_size_and_points(self):
+        sweep = Sweep(kernel=["copy", "daxpy"], fifo_depth=[8, 16, 32])
+        assert sweep.size == 6
+        points = list(sweep.points())
+        assert len(points) == 6
+        assert points[0]["kernel"] == "copy"
+        assert points[0]["fifo_depth"] == 8
+        # Unswept axes take their defaults.
+        assert points[0]["length"] == 1024
+
+    def test_scalar_axis_broadcast(self):
+        sweep = Sweep(kernel="copy", fifo_depth=[8, 16])
+        assert sweep.size == 2
+        assert all(p["kernel"] == "copy" for p in sweep.points())
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep axes"):
+            Sweep(voltage=[1, 2])
+
+    def test_run_produces_results_in_grid_order(self):
+        sweep = Sweep(kernel="copy", length=64, fifo_depth=[8, 32])
+        results = sweep.run()
+        assert [r.fifo_depth for r in results] == [8, 32]
+        assert all(r.kernel == "copy" for r in results)
+
+    def test_progress_callback(self):
+        seen = []
+        Sweep(kernel="copy", length=64, fifo_depth=[8, 16]).run(
+            progress=lambda point, result: seen.append(point["fifo_depth"])
+        )
+        assert seen == [8, 16]
+
+    def test_fixed_kwargs_forwarded(self):
+        results = Sweep(kernel="copy", length=64, fifo_depth=8).run(
+            audit=True
+        )
+        assert len(results) == 1
+
+
+class TestPivot:
+    def test_grid_shape(self):
+        results = Sweep(
+            kernel=["copy", "daxpy"], length=64, fifo_depth=[8, 16]
+        ).run()
+        rows, columns, grid = pivot(
+            results,
+            row_key=lambda r: r.kernel,
+            column_key=lambda r: r.fifo_depth,
+        )
+        assert rows == ["copy", "daxpy"]
+        assert columns == [8, 16]
+        assert all(len(row) == 2 for row in grid)
+        assert all(0 < cell <= 100 for row in grid for cell in row)
+
+    def test_custom_value(self):
+        results = Sweep(kernel="copy", length=64, fifo_depth=[8, 16]).run()
+        __, __, grid = pivot(
+            results,
+            row_key=lambda r: r.kernel,
+            column_key=lambda r: r.fifo_depth,
+            value=lambda r: r.cycles,
+        )
+        assert all(isinstance(cell, int) for cell in grid[0])
+
+    def test_duplicate_cell_rejected(self):
+        results = Sweep(
+            kernel="copy", length=64, fifo_depth=[8, 16]
+        ).run()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            pivot(
+                results,
+                row_key=lambda r: r.kernel,
+                column_key=lambda r: r.kernel,
+            )

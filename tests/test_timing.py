@@ -1,0 +1,141 @@
+"""Tests for RDRAM and classic-DRAM timing parameters (Figures 1-2)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rdram.timing import (
+    BYTES_PER_CYCLE_PEAK,
+    DATA_PACKET_BYTES,
+    DEFAULT_TIMING,
+    DRAM_FAMILIES,
+    INTERFACE_CLOCK_MHZ,
+    PEAK_BANDWIDTH_BYTES_PER_SEC,
+    ClassicDramTiming,
+    RdramTiming,
+    figure2_rows,
+)
+
+
+class TestRdramTiming:
+    def test_default_values_match_figure2(self):
+        t = RdramTiming()
+        assert t.t_pack == 4
+        assert t.t_rcd == 11
+        assert t.t_rp == 10
+        assert t.t_cpol == 1
+        assert t.t_cac == 8
+        assert t.t_rac == 20
+        assert t.t_rc == 34
+        assert t.t_rr == 8
+        assert t.t_rdly == 2
+        assert t.t_rw == 6
+
+    def test_rac_decomposition_enforced(self):
+        with pytest.raises(ConfigurationError, match="t_rac"):
+            dataclasses.replace(RdramTiming(), t_rac=21)
+
+    def test_rw_decomposition_enforced(self):
+        with pytest.raises(ConfigurationError, match="t_rw"):
+            dataclasses.replace(RdramTiming(), t_rw=7)
+
+    def test_precharge_overlap_inequality_enforced(self):
+        # t_ras + t_rp must stay below 2*t_rr + t_rac (Section 5).
+        with pytest.raises(ConfigurationError, match="t_ras"):
+            dataclasses.replace(RdramTiming(), t_ras=30)
+
+    def test_positive_fields_enforced(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(RdramTiming(), t_rr=0)
+
+    def test_cycles_to_ns(self):
+        assert RdramTiming().cycles_to_ns(4) == pytest.approx(10.0)
+
+    def test_read_data_delay_includes_roundtrip(self):
+        t = RdramTiming()
+        assert t.read_data_delay() == t.t_cac + t.t_rdly == 10
+
+    def test_write_data_delay_excludes_roundtrip(self):
+        t = RdramTiming()
+        assert t.write_data_delay() == t.t_cac == 8
+
+    def test_scaled_part_accepted(self):
+        # A faster hypothetical part with consistent derived values.
+        t = RdramTiming(
+            t_cycle_ns=2.0,
+            t_rcd=10,
+            t_cac=7,
+            t_rac=18,
+            t_rw=6,
+            t_rdly=2,
+            t_pack=4,
+        )
+        assert t.t_rac == 18
+
+    def test_peak_bandwidth_constants(self):
+        assert PEAK_BANDWIDTH_BYTES_PER_SEC == 1_600_000_000
+        assert BYTES_PER_CYCLE_PEAK == 4
+        assert DATA_PACKET_BYTES == 16
+        assert INTERFACE_CLOCK_MHZ == 400
+        # 4 bytes/cycle at 400 MHz is the 1.6 GB/s headline.
+        assert BYTES_PER_CYCLE_PEAK * INTERFACE_CLOCK_MHZ * 1e6 == (
+            PEAK_BANDWIDTH_BYTES_PER_SEC
+        )
+
+
+class TestFigure2Rows:
+    def test_row_count_and_names(self):
+        rows = figure2_rows()
+        names = [row[0] for row in rows]
+        assert names == [
+            "t_CYCLE", "t_PACK", "t_RCD", "t_RP", "t_CPOL", "t_CAC",
+            "t_RAC", "t_RC", "t_RR", "t_RDLY", "t_RW",
+        ]
+
+    def test_nanosecond_column(self):
+        rows = {row[0]: row for row in figure2_rows()}
+        assert rows["t_RAC"][3] == pytest.approx(50.0)
+        assert rows["t_RC"][3] == pytest.approx(85.0)
+        assert rows["t_PACK"][3] == pytest.approx(10.0)
+        assert rows["t_CYCLE"][3] == pytest.approx(2.5)
+
+
+class TestClassicDramFamilies:
+    def test_figure1_families_present(self):
+        assert set(DRAM_FAMILIES) == {
+            "fast-page-mode", "edo", "burst-edo", "sdram", "direct-rdram"
+        }
+
+    def test_figure1_values(self):
+        fpm = DRAM_FAMILIES["fast-page-mode"]
+        assert (fpm.t_rac_ns, fpm.t_cac_ns, fpm.t_rc_ns, fpm.t_pc_ns) == (
+            50, 13, 95, 30
+        )
+        sdram = DRAM_FAMILIES["sdram"]
+        assert sdram.max_freq_mhz == 100
+        assert sdram.t_pc_ns == 10
+
+    def test_rdram_peak_bandwidth_recovered(self):
+        rdram = DRAM_FAMILIES["direct-rdram"]
+        assert rdram.peak_bandwidth_bytes_per_sec == pytest.approx(1.6e9)
+
+    def test_page_mode_speedup_ordering(self):
+        # Each successive generation cycles pages faster.
+        order = ["fast-page-mode", "edo", "burst-edo", "sdram"]
+        cycles = [DRAM_FAMILIES[k].t_pc_ns for k in order]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_latencies(self):
+        edo = DRAM_FAMILIES["edo"]
+        assert edo.page_hit_latency_ns() == 13
+        assert edo.page_miss_latency_ns() == 50
+
+    def test_custom_family(self):
+        fam = ClassicDramTiming(
+            name="test", t_rac_ns=40, t_cac_ns=10, t_rc_ns=80,
+            t_pc_ns=20, max_freq_mhz=50,
+        )
+        assert fam.peak_bandwidth_bytes_per_sec == pytest.approx(4e8)
