@@ -61,6 +61,7 @@ from repro.cpu import (
 from repro.errors import (
     CompileError,
     ConfigurationError,
+    ObservabilityError,
     ProtocolError,
     ReproError,
     SchedulingError,
@@ -74,6 +75,7 @@ from repro.memsys import (
     PagePolicy,
 )
 from repro.fpm import FpmMemorySystem, run_fpm
+from repro.obs import Instrumentation, StallAttribution, attribute_stalls
 from repro.naturalorder import NaturalOrderController
 from repro.rdram import (
     ChannelGeometry,
@@ -135,6 +137,7 @@ __all__ = [
     "place_streams",
     "CompileError",
     "ConfigurationError",
+    "ObservabilityError",
     "ProtocolError",
     "ReproError",
     "SchedulingError",
@@ -146,6 +149,9 @@ __all__ = [
     "PagePolicy",
     "FpmMemorySystem",
     "run_fpm",
+    "Instrumentation",
+    "StallAttribution",
+    "attribute_stalls",
     "NaturalOrderController",
     "ChannelGeometry",
     "RambusChannel",

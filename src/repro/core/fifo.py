@@ -22,6 +22,7 @@ from repro.errors import SchedulingError, StreamError
 from repro.cpu.streams import Direction, StreamDescriptor
 from repro.memsys.address import AddressMap, Location
 from repro.memsys.config import PagePolicy
+from repro.obs.core import Instrumentation
 from repro.rdram.timing import DATA_PACKET_BYTES
 
 
@@ -137,6 +138,16 @@ class StreamFifo:
         self._cursor = 0
         self.elements_consumed = 0
         self.elements_produced = 0
+        #: Optional instrumentation; samples an occupancy gauge (at
+        #: ``obs.now``, maintained by the engine) on every transition.
+        self.obs: Optional[Instrumentation] = None
+
+    def _sample_occupancy(self) -> None:
+        self.obs.counters.sample_gauge(
+            f"fifo.{self.descriptor.name}.occupancy",
+            self.obs.now,
+            self.occupancy,
+        )
 
     # ------------------------------------------------------------------
     # shared
@@ -211,6 +222,8 @@ class StreamFifo:
             self.inflight += unit.elements
         else:
             self.occupancy -= unit.elements
+            if self.obs is not None:
+                self._sample_occupancy()
         return unit
 
     def note_arrival(self, elements: int) -> None:
@@ -231,6 +244,8 @@ class StreamFifo:
                 f"stream {self.descriptor.name}: FIFO overflow "
                 f"({self.occupancy}/{self.depth})"
             )
+        if self.obs is not None:
+            self._sample_occupancy()
 
     # ------------------------------------------------------------------
     # processor side
@@ -247,6 +262,8 @@ class StreamFifo:
             )
         self.occupancy -= 1
         self.elements_consumed += 1
+        if self.obs is not None:
+            self._sample_occupancy()
 
     def cpu_can_push(self) -> bool:
         """True if a processor store could enqueue an element."""
@@ -260,3 +277,5 @@ class StreamFifo:
             )
         self.occupancy += 1
         self.elements_produced += 1
+        if self.obs is not None:
+            self._sample_occupancy()

@@ -17,10 +17,11 @@ bank conflicts and activations are counted for the result report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.policies import SchedulingPolicy
 from repro.core.sbu import StreamBufferUnit
+from repro.obs.core import Instrumentation
 from repro.rdram.device import RdramDevice
 from repro.rdram.packets import BusDirection
 
@@ -69,6 +70,11 @@ class MemorySchedulingUnit:
         self.speculative_activations = 0
         self.fifo_switches = 0
         self.last_data_end = 0
+        #: Optional instrumentation; records access spans, idle spans
+        #: (with their cause), and scheduling counters.
+        self.obs: Optional[Instrumentation] = None
+        self._idle_since: Optional[int] = None
+        self._idle_reason = ""
 
     @property
     def done(self) -> bool:
@@ -78,7 +84,34 @@ class MemorySchedulingUnit:
     def wake(self, cycle: int) -> None:
         """Re-arm an idle MSU after a FIFO state change."""
         if self.next_decision >= IDLE:
+            if self.obs is not None:
+                self._close_idle_span(cycle)
             self.next_decision = cycle
+
+    def _close_idle_span(self, cycle: int) -> None:
+        """Record the idle interval that a wake (or run end) closes."""
+        if self._idle_since is not None and cycle > self._idle_since:
+            self.obs.tracer.add_span(
+                "msu", f"idle:{self._idle_reason}", self._idle_since, cycle
+            )
+        self._idle_since = None
+
+    def _idle_cause(self) -> str:
+        """Why no FIFO is serviceable right now.
+
+        "done" once every stream's plan has been issued; otherwise
+        "fifo" — every live read FIFO is full (counting in-flight data)
+        and every live write FIFO lacks a full packet's worth of
+        elements.
+        """
+        if all(fifo.exhausted for fifo in self.sbu):
+            return "done"
+        return "fifo"
+
+    def finish_observation(self, end_cycle: int) -> None:
+        """Close a still-open idle span when the simulation ends."""
+        if self.obs is not None:
+            self._close_idle_span(end_cycle)
 
     def tick(self, cycle: int) -> Tuple[ArrivalEvent, ...]:
         """Make at most one scheduling decision at ``cycle``.
@@ -92,14 +125,20 @@ class MemorySchedulingUnit:
         choice = self.policy.choose(cycle, self.sbu, self.current, self.device)
         if choice is None:
             self.next_decision = IDLE
+            if self.obs is not None and self._idle_since is None:
+                self._idle_since = cycle
+                self._idle_reason = self._idle_cause()
             return ()
         if choice != self.current:
             self.fifo_switches += 1
+            if self.obs is not None:
+                self.obs.counters.incr("msu.fifo_switches")
             self.current = choice
         fifo = self.sbu[choice]
         unit = fifo.next_unit()
         location = unit.location
         bank = self.device.bank(location.bank)
+        conflicts_before = self.bank_conflicts
         if bank.open_row != location.row:
             if bank.is_open:
                 self.bank_conflicts += 1
@@ -121,6 +160,23 @@ class MemorySchedulingUnit:
             direction,
             precharge=unit.precharge_after,
         )
+        if self.obs is not None:
+            self.obs.counters.incr("msu.decisions")
+            if self.bank_conflicts > conflicts_before:
+                self.obs.counters.incr(
+                    "msu.bank_conflicts",
+                    self.bank_conflicts - conflicts_before,
+                )
+            self.obs.tracer.add_span(
+                "msu",
+                f"{'RD' if fifo.is_read else 'WR'} {fifo.descriptor.name}",
+                access.col.start,
+                access.data.end,
+                bank=location.bank,
+                row=location.row,
+                column=location.column,
+                decided=cycle,
+            )
         fifo.note_issue()
         self.packets_issued += 1
         self.last_data_end = max(self.last_data_end, access.data.end)

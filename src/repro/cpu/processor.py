@@ -22,6 +22,7 @@ from typing import List, Optional, Protocol, Tuple
 
 from repro.cpu.kernels import Kernel
 from repro.cpu.streams import Direction
+from repro.obs.core import Instrumentation
 
 #: Cycles per element access at which CPU bandwidth equals the memory's
 #: peak bandwidth (8-byte element / 4 bytes-per-cycle).
@@ -74,6 +75,9 @@ class StreamProcessor:
         self.stall_cycles = 0
         self.first_element_cycle: Optional[int] = None
         self.last_retire_cycle: Optional[int] = None
+        #: Optional instrumentation; records retire counters and one
+        #: "cpu" span per blocked interval (a FIFO-not-ready stall).
+        self.obs: Optional[Instrumentation] = None
 
     @property
     def done(self) -> bool:
@@ -111,11 +115,23 @@ class StreamProcessor:
             return False
         if self._blocked_since is not None:
             self.stall_cycles += cycle - self._blocked_since
+            if self.obs is not None and cycle > self._blocked_since:
+                self.obs.tracer.add_span(
+                    "cpu",
+                    "stall:read"
+                    if direction is Direction.READ
+                    else "stall:write",
+                    self._blocked_since,
+                    cycle,
+                    stream=stream_index,
+                )
             self._blocked_since = None
         if direction is Direction.READ:
             port.cpu_pop(stream_index)
         else:
             port.cpu_push(stream_index)
+        if self.obs is not None:
+            self.obs.counters.incr("cpu.retires")
         if self.first_element_cycle is None:
             self.first_element_cycle = cycle
         self.last_retire_cycle = cycle

@@ -46,6 +46,16 @@ class StreamError(ReproError):
     """
 
 
+class ObservabilityError(ReproError):
+    """The instrumentation layer was misused or its accounting broke.
+
+    Raised when a trace-dependent feature is requested for a run built
+    without trace recording, when an exported trace file cannot be
+    parsed, or when stall attribution fails to account for every cycle
+    of a run (which would indicate an instrumentation bug).
+    """
+
+
 class CompileError(ReproError):
     """A loop could not be compiled into stream descriptors.
 

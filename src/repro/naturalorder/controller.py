@@ -37,6 +37,7 @@ from repro.cpu.streams import (
 )
 from repro.memsys.address import AddressMap
 from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig, PagePolicy
+from repro.obs.core import Instrumentation
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
 from repro.sim.results import SimulationResult
@@ -74,6 +75,7 @@ class NaturalOrderController:
         stride: int = 1,
         alignment: Alignment = Alignment.STAGGERED,
         descriptors: Optional[List[StreamDescriptor]] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> SimulationResult:
         """Execute one kernel and report effective bandwidth.
 
@@ -83,6 +85,9 @@ class NaturalOrderController:
             stride: Stride in elements.
             alignment: Vector base placement.
             descriptors: Pre-placed streams overriding placement.
+            obs: Optional instrumentation; records one "controller"
+                span per cacheline transaction plus the device-level
+                gaps and counters (see :mod:`repro.obs`).
 
         Returns:
             The result; ``useful_bytes`` counts stream elements only,
@@ -90,6 +95,7 @@ class NaturalOrderController:
             though whole lines move on the bus.
         """
         self.device.reset()
+        self.device.obs = obs
         if descriptors is None:
             descriptors = place_streams(
                 kernel.streams,
@@ -141,6 +147,18 @@ class NaturalOrderController:
                 first_cmd, first_arrival, data_end, had_conflict = issued
                 transactions += 1
                 conflicts += int(had_conflict)
+                if obs is not None:
+                    obs.counters.incr("controller.transactions")
+                    if had_conflict:
+                        obs.counters.incr("controller.conflicts")
+                    obs.tracer.add_span(
+                        "controller",
+                        ("RD " if descriptor.direction is Direction.READ
+                         else "WR ") + descriptor.name,
+                        first_cmd,
+                        data_end,
+                        line=line,
+                    )
                 program_clock = max(program_clock, first_cmd)
                 last_data_end = max(last_data_end, data_end)
                 if descriptor.direction is Direction.READ:
@@ -150,6 +168,18 @@ class NaturalOrderController:
                 outstanding.append(data_end)
 
         useful = len(descriptors) * length * ELEMENT_BYTES
+        if obs is not None:
+            self.device.finish_observation(last_data_end)
+            obs.meta.update(
+                kernel=kernel.name,
+                organization=self.config.describe(),
+                policy="natural-order",
+                cycles=last_data_end,
+                last_data_end=last_data_end,
+                t_pack=self.config.timing.t_pack,
+                t_rw=self.config.timing.t_rw,
+            )
+            self.device.obs = None
         return SimulationResult(
             kernel=kernel.name,
             organization=self.config.describe(),

@@ -1,0 +1,49 @@
+"""Cycle-level observability: counters, event tracing, stall attribution.
+
+A lightweight, zero-cost-when-disabled instrumentation layer threaded
+through the simulator.  Create an :class:`Instrumentation`, pass it to
+a simulation entry point, then attribute stalls or export the run::
+
+    from repro.obs import Instrumentation, attribute_stalls
+    from repro.obs.export import write_chrome_trace
+    from repro.sim.runner import simulate_kernel
+
+    obs = Instrumentation()
+    result = simulate_kernel("daxpy", "pi", obs=obs)
+    stalls = attribute_stalls(obs)
+    print(stalls.table())
+    write_chrome_trace("trace.json", obs, stalls=stalls.as_dict())
+
+See :mod:`repro.obs.core` for the primitives,
+:mod:`repro.obs.attribution` for the exact cycle accounting,
+:mod:`repro.obs.export` for Perfetto/JSONL I/O, and ``repro-trace``
+(:mod:`repro.obs.cli`) for inspecting exported files.
+"""
+
+from repro.obs.attribution import (
+    BUCKETS,
+    StallAttribution,
+    attribute_stalls,
+    format_stall_table,
+)
+from repro.obs.core import (
+    CounterRegistry,
+    DataBusGap,
+    EventTracer,
+    InstantEvent,
+    Instrumentation,
+    SpanEvent,
+)
+
+__all__ = [
+    "BUCKETS",
+    "CounterRegistry",
+    "DataBusGap",
+    "EventTracer",
+    "InstantEvent",
+    "Instrumentation",
+    "SpanEvent",
+    "StallAttribution",
+    "attribute_stalls",
+    "format_stall_table",
+]

@@ -1,0 +1,256 @@
+"""Stall attribution: an exact account of every DATA-bus cycle.
+
+The paper's whole argument is about where cycles go — bus turnarounds,
+precharge/activate latency, FIFO stalls — so this pass classifies
+*every* cycle of a run into exactly one bucket:
+
+``busy``
+    The DATA bus carried a packet.
+``turnaround``
+    Idle under the write-to-read t_RW turnaround (these agree exactly
+    with :attr:`repro.sim.metrics.TraceMetrics.turnaround_cycles`).
+``refresh``
+    Idle while a background refresh held the row bus or a bank.
+``precharge_activate``
+    Idle waiting on bank state: a precharge and/or activate (plus
+    t_RCD) had to complete before the next column access.  The run's
+    startup latency lands here.
+``command_bus``
+    Idle because the COL command bus (or an explicit retire slot) was
+    occupied.
+``fifo``
+    The device was ready but the MSU had no serviceable FIFO: every
+    read FIFO was full (or covered by in-flight data) and every write
+    FIFO lacked a full packet.
+``scheduler_idle``
+    The device was ready and some FIFO was serviceable, but the
+    controller had not asked yet — decision pacing and the fixed
+    command-to-data pipeline of a late request.
+``drain``
+    After the last DATA packet: the processor draining the read FIFOs'
+    remaining elements.
+
+The buckets plus ``busy`` sum *exactly* to the run's total cycles;
+:func:`attribute_stalls` raises
+:class:`~repro.errors.ObservabilityError` if they do not, so the
+accounting can never silently drift from the simulator.
+
+Mechanically: the device records one :class:`~repro.obs.core.DataBusGap`
+per idle interval, carrying the first cycle at which each scheduling
+constraint stopped blocking the access that ended the gap.  Each gap is
+partitioned front to back — the leading ``min(gap, t_RW)`` cycles of a
+write-to-read flip are turnaround, then cycles covered by a refresh
+span are refresh, then cycles below the bank-readiness bound are
+precharge/activate, then command-bus cycles, and the controller-side
+remainder is split into ``fifo`` and ``scheduler_idle`` using the MSU's
+recorded idle spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.core import Instrumentation, covers, merge_intervals
+
+#: Bucket names in reporting order (``busy`` and ``total`` are
+#: presented alongside but are not stall buckets).
+BUCKETS = (
+    "turnaround",
+    "refresh",
+    "precharge_activate",
+    "command_bus",
+    "fifo",
+    "scheduler_idle",
+    "drain",
+)
+
+_DESCRIPTIONS = {
+    "busy": "DATA packets on the bus",
+    "turnaround": "write-to-read t_RW turnarounds",
+    "refresh": "background refresh interference",
+    "precharge_activate": "precharge/activate (+t_RCD) latency",
+    "command_bus": "COL command-bus occupancy",
+    "fifo": "no serviceable FIFO (full reads / empty writes)",
+    "scheduler_idle": "controller pacing and request latency",
+    "drain": "processor draining FIFOs after the last packet",
+}
+
+
+@dataclass(frozen=True)
+class StallAttribution:
+    """Exact decomposition of a run's cycles.
+
+    Attributes:
+        cycles: The run's total cycles (``SimulationResult.cycles``).
+        busy: Cycles the DATA bus carried packets.
+        buckets: Idle cycles per stall bucket (see module docstring).
+    """
+
+    cycles: int
+    busy: int
+    buckets: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        """busy + all buckets; equals :attr:`cycles` by construction."""
+        return self.busy + sum(self.buckets.values())
+
+    @property
+    def idle(self) -> int:
+        """Total idle DATA-bus cycles."""
+        return self.cycles - self.busy
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form embedded in exports."""
+        return {
+            "cycles": self.cycles,
+            "busy": self.busy,
+            "buckets": dict(self.buckets),
+        }
+
+    def table(self) -> str:
+        """Human-readable bucket table."""
+        return format_stall_table(self.as_dict())
+
+
+def format_stall_table(stalls: Mapping[str, object]) -> str:
+    """Render a stalls dict (see :meth:`StallAttribution.as_dict`)."""
+    cycles = int(stalls["cycles"])  # type: ignore[arg-type]
+    busy = int(stalls["busy"])  # type: ignore[arg-type]
+    buckets: Mapping[str, int] = stalls["buckets"]  # type: ignore[assignment]
+    lines = ["stall attribution (DATA-bus cycles):"]
+
+    def row(name: str, count: int) -> str:
+        share = 100.0 * count / cycles if cycles else 0.0
+        return (
+            f"  {name:<20s} {count:>8d}  {share:6.2f}%"
+            f"  {_DESCRIPTIONS.get(name, '')}"
+        )
+
+    lines.append(row("busy", busy))
+    for name in BUCKETS:
+        lines.append(row(name, int(buckets.get(name, 0))))
+    total = busy + sum(int(buckets.get(name, 0)) for name in BUCKETS)
+    lines.append(f"  {'total':<20s} {total:>8d}  ==  {cycles} run cycles")
+    return "\n".join(lines)
+
+
+def attribute_stalls(
+    obs: Instrumentation,
+    cycles: Optional[int] = None,
+    last_data_end: Optional[int] = None,
+) -> StallAttribution:
+    """Classify every cycle of an instrumented run.
+
+    Args:
+        obs: Instrumentation from a completed run (the engine fills in
+            the required ``cycles`` / ``last_data_end`` metadata).
+        cycles: Override the run's total cycles.
+        last_data_end: Override the end of the last DATA packet.
+
+    Returns:
+        The attribution; ``busy`` plus the buckets sums exactly to
+        ``cycles``.
+
+    Raises:
+        ObservabilityError: If required metadata is missing or the
+            accounting does not close (which would indicate an
+            instrumentation bug, not a slow run).
+    """
+    if cycles is None:
+        cycles = obs.meta.get("cycles")  # type: ignore[assignment]
+    if last_data_end is None:
+        last_data_end = obs.meta.get("last_data_end")  # type: ignore[assignment]
+    if cycles is None or last_data_end is None:
+        raise ObservabilityError(
+            "stall attribution needs a completed instrumented run: "
+            "'cycles' and 'last_data_end' metadata are missing "
+            "(pass the Instrumentation to run_smc / simulate_kernel "
+            "before attributing)"
+        )
+    cycles = int(cycles)
+    last_data_end = int(last_data_end)
+
+    fifo_spans = merge_intervals(
+        (span.start, span.end)
+        for span in obs.tracer.spans_on("msu", "idle:fifo")
+    )
+    refresh_spans = merge_intervals(
+        (span.start, span.end)
+        for span in obs.tracer.spans_on("refresh", "refresh")
+    )
+
+    buckets: Dict[str, int] = {name: 0 for name in BUCKETS}
+    gap_total = 0
+    for gap in obs.gaps:
+        gap_total += gap.length
+        cursor = gap.start
+        # Leading turnaround portion: exactly min(gap, t_RW) cycles,
+        # matching TraceMetrics.turnaround_cycles.
+        lead = min(max(gap.turnaround_until, cursor), gap.end)
+        buckets["turnaround"] += lead - cursor
+        cursor = lead
+        if cursor >= gap.end:
+            continue
+        for lo, hi in _subintervals(
+            cursor,
+            gap.end,
+            (gap.bank_until, gap.colbus_until, gap.request_until),
+            refresh_spans,
+            fifo_spans,
+        ):
+            mid = lo  # bounds are constant over the subinterval
+            if covers(mid, refresh_spans):
+                buckets["refresh"] += hi - lo
+            elif mid < gap.bank_until:
+                buckets["precharge_activate"] += hi - lo
+            elif mid < gap.colbus_until:
+                buckets["command_bus"] += hi - lo
+            elif covers(mid, fifo_spans):
+                buckets["fifo"] += hi - lo
+            else:
+                buckets["scheduler_idle"] += hi - lo
+
+    busy = last_data_end - gap_total
+    buckets["drain"] = cycles - last_data_end
+
+    data_packets = obs.counters.get("device.data_packets")
+    t_pack = obs.meta.get("t_pack")
+    if t_pack is not None and data_packets * int(t_pack) != busy:  # type: ignore[arg-type]
+        raise ObservabilityError(
+            "stall attribution does not close: "
+            f"{data_packets} DATA packets x t_pack {t_pack} != "
+            f"{busy} busy cycles"
+        )
+
+    attribution = StallAttribution(cycles=cycles, busy=busy, buckets=buckets)
+    if attribution.total != cycles:
+        raise ObservabilityError(
+            "stall attribution does not close: busy + buckets = "
+            f"{attribution.total}, run cycles = {cycles}"
+        )
+    return attribution
+
+
+def _subintervals(
+    lo: int,
+    hi: int,
+    bounds: Tuple[int, ...],
+    *span_lists: List[Tuple[int, int]],
+) -> List[Tuple[int, int]]:
+    """Split [lo, hi) at every constraint bound and span edge, so each
+    returned piece has a single classification."""
+    points = {lo, hi}
+    for bound in bounds:
+        if lo < bound < hi:
+            points.add(bound)
+    for spans in span_lists:
+        for start, end in spans:
+            if lo < start < hi:
+                points.add(start)
+            if lo < end < hi:
+                points.add(end)
+    ordered = sorted(points)
+    return list(zip(ordered, ordered[1:]))

@@ -1,0 +1,104 @@
+"""Trace inspection command line, installed as ``repro-trace``.
+
+Reads a run exported by ``repro-simulate --trace-out`` (Chrome/Perfetto
+trace JSON) or by :func:`repro.obs.export.write_jsonl` and prints its
+summary, stall-attribution buckets, counters, or events::
+
+    repro-trace /tmp/t.json                 # run summary
+    repro-trace /tmp/t.json --stalls        # stall bucket table
+    repro-trace /tmp/t.json --counters      # named counters
+    repro-trace /tmp/t.json --spans 20      # first 20 span events
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ObservabilityError, ReproError
+from repro.obs.attribution import format_stall_table
+from repro.obs.export import TraceDocument, load_trace_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Inspect a simulator trace exported as Chrome/Perfetto "
+            "trace JSON or JSONL."
+        ),
+    )
+    parser.add_argument("file", help="trace.json or .jsonl file to inspect")
+    parser.add_argument("--stalls", action="store_true",
+                        help="print the stall-attribution bucket table")
+    parser.add_argument("--counters", action="store_true",
+                        help="print all named counters")
+    parser.add_argument("--spans", type=int, nargs="?", const=20,
+                        default=None, metavar="N",
+                        help="print the first N span events (default 20)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except ReproError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 1
+
+
+def _run(args) -> int:
+    document = load_trace_file(args.file)
+    printed = False
+    if args.stalls:
+        if document.stalls is None:
+            raise ObservabilityError(
+                f"{args.file!r} carries no stall-attribution data; "
+                "re-export the run with repro-simulate --trace-out "
+                "(or embed stalls in the JSONL)"
+            )
+        print(format_stall_table(document.stalls))
+        printed = True
+    if args.counters:
+        if not document.counters:
+            raise ObservabilityError(
+                f"{args.file!r} carries no counters"
+            )
+        width = max(len(name) for name in document.counters)
+        for name in sorted(document.counters):
+            print(f"{name:<{width}s}  {document.counters[name]}")
+        printed = True
+    if args.spans is not None:
+        for span in document.spans[: args.spans]:
+            detail = " ".join(f"{k}={v}" for k, v in span.args)
+            print(
+                f"[{span.start:>7d}, {span.end:>7d})  "
+                f"{span.track:<12s} {span.name}"
+                + (f"  ({detail})" if detail else "")
+            )
+        printed = True
+    if not printed:
+        _summary(args.file, document)
+    return 0
+
+
+def _summary(path: str, document: TraceDocument) -> None:
+    print(f"trace        : {path}")
+    for key in ("kernel", "organization", "policy", "cycles",
+                "last_data_end"):
+        if key in document.meta:
+            print(f"{key:<13s}: {document.meta[key]}")
+    print(
+        f"events       : {len(document.spans)} spans, "
+        f"{len(document.instants)} instants, "
+        f"{len(document.counters)} counters, "
+        f"{len(document.gauges)} gauges"
+    )
+    if document.stalls is not None:
+        print(format_stall_table(document.stalls))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

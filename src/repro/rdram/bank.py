@@ -51,6 +51,17 @@ class Bank:
         return self.open_row is not None
 
     @property
+    def last_act_start(self) -> int:
+        """Start cycle of the most recent activate (NEVER if none).
+
+        Exposed for the observability layer: the device uses it to
+        emit "row open" spans on bank tracks and to compute the
+        bank-readiness bound of a DATA-bus gap independently of the
+        controller's request cycle.
+        """
+        return self._last_act_start
+
+    @property
     def last_prer_start(self) -> int:
         """Start cycle of the most recent precharge (NEVER if none).
 

@@ -23,8 +23,15 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.core import Instrumentation
 from repro.rdram.bank import NEVER, Bank
-from repro.rdram.device import RdramGeometry, ScheduledAccess
+from repro.rdram.device import (
+    RdramGeometry,
+    ScheduledAccess,
+    flush_bank_observation,
+    record_bank_close,
+    record_data_gap,
+)
 from repro.rdram.packets import (
     BusDirection,
     ColCommand,
@@ -161,6 +168,8 @@ class RambusChannel:
         self.geometry = geometry or ChannelGeometry()
         self.record_trace = record_trace
         self.explicit_retire = explicit_retire
+        #: Optional instrumentation (see RdramDevice.obs).
+        self.obs: Optional[Instrumentation] = None
         self.banks: List[Bank] = [
             Bank(index=i, timing=self.timing)
             for i in range(self.geometry.num_banks)
@@ -252,6 +261,8 @@ class RambusChannel:
                 f"row {row} out of range 0..{self.geometry.rows_per_bank - 1}"
             )
         start = self.earliest_act(bank, now)
+        if self.obs is not None:
+            self.obs.counters.incr("device.row_act")
         self.bank(bank).apply_act(start, row)
         self._row_bus_free = start + self.timing.t_pack
         self._last_act_by_device[self.geometry.device_of(bank)] = start
@@ -263,6 +274,9 @@ class RambusChannel:
     def issue_prer(self, bank: int, now: int) -> RowPacket:
         """Issue a ROW PRER on the shared row bus."""
         start = self.earliest_prer(bank, now)
+        if self.obs is not None:
+            self.obs.counters.incr("device.row_prer")
+            record_bank_close(self.obs, self.bank(bank), bank, start)
         self.bank(bank).apply_prer(start)
         self._row_bus_free = start + self.timing.t_pack
         packet = RowPacket(command=RowCommand.PRER, bank=bank, row=None, start=start)
@@ -286,6 +300,24 @@ class RambusChannel:
                 f"0..{self.geometry.packets_per_page - 1}"
             )
         start = self.earliest_col(bank, row, now, direction)
+        bank_obj = self.bank(bank)
+        if self.obs is not None:
+            self.obs.counters.incr("device.data_packets")
+            record_data_gap(
+                self.obs,
+                self,
+                bank_obj,
+                bank,
+                row,
+                now,
+                direction,
+                start,
+                (
+                    self.timing.read_data_delay()
+                    if direction is BusDirection.READ
+                    else self.timing.write_data_delay()
+                ),
+            )
         if (
             direction is BusDirection.READ
             and self.explicit_retire
@@ -301,7 +333,6 @@ class RambusChannel:
             if self.record_trace:
                 self.trace.append(retire)
             self._retire_pending = False
-        bank_obj = self.bank(bank)
         bank_obj.apply_col(start, row)
         self._col_bus_free = start + self.timing.t_pack
         delay = (
@@ -326,6 +357,10 @@ class RambusChannel:
             self.trace.append(data)
         if precharge:
             prer_start = bank_obj.earliest_prer(start)
+            if self.obs is not None:
+                record_bank_close(
+                    self.obs, bank_obj, bank, prer_start, via_col=True
+                )
             bank_obj.apply_prer(prer_start)
             if self.record_trace:
                 self.trace.append(
@@ -338,6 +373,11 @@ class RambusChannel:
                     )
                 )
         return ScheduledAccess(col=col, data=data, precharged=precharge)
+
+    def finish_observation(self, end_cycle: int) -> None:
+        """Close any still-open "row open" spans at the end of a run."""
+        if self.obs is not None:
+            flush_bank_observation(self.obs, self.banks, end_cycle)
 
     def reset(self) -> None:
         """Return the channel and all devices to the power-on state."""

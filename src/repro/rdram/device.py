@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.core import DataBusGap, Instrumentation
 from repro.rdram.bank import NEVER, Bank
 from repro.rdram.packets import (
     BusDirection,
@@ -109,6 +110,92 @@ class RdramGeometry:
         return self.page_bytes // DATA_PACKET_BYTES
 
 
+def record_data_gap(
+    obs: Instrumentation,
+    memory,
+    bank_obj: Bank,
+    bank_index: int,
+    row: int,
+    now: int,
+    direction: BusDirection,
+    col_start: int,
+    delay: int,
+) -> None:
+    """Record a :class:`~repro.obs.core.DataBusGap` for an access whose
+    DATA packet leaves the bus idle before it.
+
+    Must be called after the access's COL start is computed but before
+    any bus/bank state is updated.  ``memory`` is the device or channel
+    issuing the access; both expose the same bus-state attributes.
+    """
+    data_start = col_start + delay
+    idle_from = memory._data_bus_free
+    if data_start <= idle_from:
+        return
+    if (
+        direction is BusDirection.READ
+        and memory._last_data_dir is BusDirection.WRITE
+    ):
+        turnaround_until = memory._last_write_data_end + memory.timing.t_rw
+    else:
+        turnaround_until = idle_from
+    col_bus_free = memory._col_bus_free
+    if (
+        direction is BusDirection.READ
+        and memory.explicit_retire
+        and memory._retire_pending
+    ):
+        col_bus_free += memory.timing.t_pack
+    obs.gaps.append(
+        DataBusGap(
+            start=idle_from,
+            end=data_start,
+            bank=bank_index,
+            direction=direction.value,
+            turnaround_until=turnaround_until,
+            bank_until=bank_obj.earliest_col(0, row) + delay,
+            colbus_until=col_bus_free + delay,
+            request_until=now + delay,
+        )
+    )
+
+
+def record_bank_close(
+    obs: Instrumentation,
+    bank_obj: Bank,
+    bank_index: int,
+    prer_start: int,
+    via_col: bool = False,
+) -> None:
+    """Emit the "row open" span ended by a precharge.
+
+    Must be called before the precharge is applied (the open row and
+    its activate timestamp are read off the bank).
+    """
+    obs.tracer.add_span(
+        f"bank{bank_index}",
+        f"row {bank_obj.open_row}",
+        bank_obj.last_act_start,
+        prer_start,
+        via_col=via_col,
+    )
+
+
+def flush_bank_observation(
+    obs: Instrumentation, banks: List[Bank], end_cycle: int
+) -> None:
+    """Close "row open" spans for banks still open when a run ends."""
+    for bank_obj in banks:
+        if bank_obj.is_open:
+            obs.tracer.add_span(
+                f"bank{bank_obj.index}",
+                f"row {bank_obj.open_row}",
+                bank_obj.last_act_start,
+                end_cycle,
+                open_at_end=True,
+            )
+
+
 @dataclass
 class ScheduledAccess:
     """Result of issuing a column access.
@@ -153,6 +240,10 @@ class RdramDevice:
         #: the real protocol does.
         self.explicit_retire = explicit_retire
         self._retire_pending = False
+        #: Optional instrumentation; attach one to record counters,
+        #: bank-row spans, and DATA-bus gap records for stall
+        #: attribution.  None (the default) costs one branch per issue.
+        self.obs: Optional[Instrumentation] = None
         self.banks: List[Bank] = [
             Bank(index=i, timing=self.timing) for i in range(self.geometry.num_banks)
         ]
@@ -257,6 +348,8 @@ class RdramDevice:
                 f"row {row} out of range 0..{self.geometry.rows_per_bank - 1}"
             )
         start = self.earliest_act(bank, now)
+        if self.obs is not None:
+            self.obs.counters.incr("device.row_act")
         self.bank(bank).apply_act(start, row)
         self._row_bus_free = start + self.timing.t_pack
         self._last_act_start = start
@@ -268,6 +361,9 @@ class RdramDevice:
     def issue_prer(self, bank: int, now: int) -> RowPacket:
         """Issue a ROW PRER closing ``bank`` at the earliest legal cycle."""
         start = self.earliest_prer(bank, now)
+        if self.obs is not None:
+            self.obs.counters.incr("device.row_prer")
+            record_bank_close(self.obs, self.bank(bank), bank, start)
         self.bank(bank).apply_prer(start)
         self._row_bus_free = start + self.timing.t_pack
         packet = RowPacket(command=RowCommand.PRER, bank=bank, row=None, start=start)
@@ -304,6 +400,24 @@ class RdramDevice:
                 f"0..{self.geometry.packets_per_page - 1}"
             )
         start = self.earliest_col(bank, row, now, direction)
+        bank_obj = self.bank(bank)
+        if self.obs is not None:
+            self.obs.counters.incr("device.data_packets")
+            record_data_gap(
+                self.obs,
+                self,
+                bank_obj,
+                bank,
+                row,
+                now,
+                direction,
+                start,
+                (
+                    self.timing.read_data_delay()
+                    if direction is BusDirection.READ
+                    else self.timing.write_data_delay()
+                ),
+            )
         if (
             direction is BusDirection.READ
             and self.explicit_retire
@@ -319,7 +433,6 @@ class RdramDevice:
             if self.record_trace:
                 self.trace.append(retire)
             self._retire_pending = False
-        bank_obj = self.bank(bank)
         bank_obj.apply_col(start, row)
         self._col_bus_free = start + self.timing.t_pack
         delay = (
@@ -347,6 +460,10 @@ class RdramDevice:
             # earliest bank-legal cycle at or after the COL packet, with
             # no ROW-bus occupancy and no t_RR interaction.
             prer_start = bank_obj.earliest_prer(start)
+            if self.obs is not None:
+                record_bank_close(
+                    self.obs, bank_obj, bank, prer_start, via_col=True
+                )
             bank_obj.apply_prer(prer_start)
             if self.record_trace:
                 self.trace.append(
@@ -359,6 +476,11 @@ class RdramDevice:
                     )
                 )
         return ScheduledAccess(col=col, data=data, precharged=precharge)
+
+    def finish_observation(self, end_cycle: int) -> None:
+        """Close any still-open "row open" spans at the end of a run."""
+        if self.obs is not None:
+            flush_bank_observation(self.obs, self.banks, end_cycle)
 
     def reset(self) -> None:
         """Return the device and all banks to the power-on state."""

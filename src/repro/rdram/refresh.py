@@ -19,7 +19,10 @@ deadline taking priority over open-page policy.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import ConfigurationError
+from repro.obs.core import Instrumentation
 from repro.rdram.device import RdramDevice
 
 #: Cycles between refreshes so all banks x rows fit in a 32 ms
@@ -59,6 +62,10 @@ class RefreshEngine:
         self.refreshes_issued = 0
         self.deferrals = 0
         self.forced_precharges = 0
+        #: Optional instrumentation; records one "refresh" span per
+        #: issued refresh (ACT start through bank recovery at
+        #: PRER + t_RP) plus deferral/forced-precharge counters.
+        self.obs: Optional[Instrumentation] = None
 
     @property
     def next_action_cycle(self) -> int:
@@ -88,6 +95,8 @@ class RefreshEngine:
             if self._deferrals_in_a_row < self.force_after:
                 self._deferrals_in_a_row += 1
                 self.deferrals += 1
+                if self.obs is not None:
+                    self.obs.counters.incr("refresh.deferrals")
                 self._next_due = cycle + RETRY_CYCLES
                 return False
             # Deadline: close the in-use page (and, on double-bank
@@ -98,11 +107,26 @@ class RefreshEngine:
                 if self.device.bank(index).is_open:
                     self.device.issue_prer(index, cycle)
                     self.forced_precharges += 1
+                    if self.obs is not None:
+                        self.obs.counters.incr("refresh.forced_precharges")
+                        self.obs.tracer.add_instant(
+                            "refresh", "forced_precharge", cycle, bank=index
+                        )
         activate = self.device.issue_act(
             self._bank_cursor, self._row_cursor, cycle
         )
-        self.device.issue_prer(self._bank_cursor, activate.start)
+        prer = self.device.issue_prer(self._bank_cursor, activate.start)
         self.refreshes_issued += 1
+        if self.obs is not None:
+            self.obs.counters.incr("refresh.issued")
+            self.obs.tracer.add_span(
+                "refresh",
+                f"refresh b{self._bank_cursor} r{self._row_cursor}",
+                activate.start,
+                prer.start + self.device.timing.t_rp,
+                bank=self._bank_cursor,
+                row=self._row_cursor,
+            )
         self._deferrals_in_a_row = 0
         self._advance_cursor()
         self._next_due += self.interval

@@ -2,20 +2,25 @@
 
 Installed as ``repro-simulate``.  Runs a single SMC simulation (or the
 natural-order baseline) and prints the result, optionally with the
-Gantt trace view, derived metrics, and a protocol audit::
+Gantt trace view, derived metrics, a protocol audit, stall statistics,
+a machine-readable JSON report, or an exported event trace::
 
     repro-simulate daxpy --org pi --fifo-depth 64 --gantt --metrics
     repro-simulate "y[i] = a*x[i] + y[i]" --compile --org cli
     repro-simulate vaxpy --baseline natural-order --stride 4
+    repro-simulate daxpy --org pi --stats --trace-out trace.json
+    repro-simulate copy --org cli --json
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ObservabilityError, ReproError
 from repro.analytic.cache import natural_order_bound
 from repro.analytic.smc import smc_bound
 from repro.compiler.frontend import compile_loop
@@ -23,6 +28,8 @@ from repro.core.smc import build_smc_system
 from repro.cpu.kernels import KERNELS, get_kernel
 from repro.cpu.streams import Alignment
 from repro.naturalorder.controller import NaturalOrderController
+from repro.obs import Instrumentation, attribute_stalls
+from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.rdram.audit import audit_trace
 from repro.rdram.tracefmt import render_trace
 from repro.sim.engine import run_smc
@@ -77,6 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "protocol auditor")
     parser.add_argument("--bounds", action="store_true",
                         help="print the Section 5 analytic bounds")
+    parser.add_argument("--stats", action="store_true",
+                        help="print instrumentation counters and the "
+                             "stall-attribution table")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export the instrumented run as a Chrome/"
+                             "Perfetto trace (or JSONL if PATH ends "
+                             "with .jsonl)")
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON report "
+                             "instead of the human-readable one")
     return parser
 
 
@@ -89,13 +106,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
 
 
+def _require_trace(trace, flag: str):
+    """The recorded packet trace, or a clear error if there is none."""
+    if trace is None:
+        raise ObservabilityError(
+            f"{flag} needs the packet trace, but this run was built "
+            "without trace recording (record_trace=False)"
+        )
+    return trace
+
+
 def _run(args) -> int:
+    if args.json and args.gantt is not None:
+        raise ConfigurationError(
+            "--json and --gantt are mutually exclusive; export the run "
+            "with --trace-out to inspect its timeline"
+        )
     config = resolve_config(args.org)
     if args.compile:
         kernel = compile_loop(args.kernel)
     else:
         kernel = get_kernel(args.kernel)
     need_trace = bool(args.gantt is not None or args.metrics or args.audit)
+    need_obs = bool(args.json or args.stats or args.trace_out)
+    obs = Instrumentation() if need_obs else None
 
     if args.baseline == "natural-order":
         controller = NaturalOrderController(config, record_trace=need_trace)
@@ -104,6 +138,7 @@ def _run(args) -> int:
             length=args.length,
             stride=args.stride,
             alignment=Alignment(args.alignment),
+            obs=obs,
         )
         trace = controller.device.trace
     else:
@@ -118,8 +153,47 @@ def _run(args) -> int:
             record_trace=need_trace,
             refresh=args.refresh,
         )
-        result = run_smc(system)
+        result = run_smc(system, obs=obs)
         trace = system.device.trace
+
+    stalls = attribute_stalls(obs) if obs is not None else None
+    result_dict = dataclasses.asdict(result)
+    result_dict["percent_of_peak"] = result.percent_of_peak
+    result_dict["percent_of_attainable"] = result.percent_of_attainable
+    result_dict["effective_bandwidth_bytes_per_sec"] = (
+        result.effective_bandwidth_bytes_per_sec
+    )
+
+    exported = None
+    if args.trace_out:
+        write = (
+            write_jsonl if args.trace_out.endswith(".jsonl")
+            else write_chrome_trace
+        )
+        exported = write(
+            args.trace_out, obs, result=result_dict,
+            stalls=stalls.as_dict() if stalls else None,
+        )
+
+    if args.json:
+        report = {"result": result_dict, "counters": dict(obs.counters.counters)}
+        if stalls is not None:
+            report["stalls"] = stalls.as_dict()
+        if args.metrics:
+            metrics = measure_trace(
+                _require_trace(trace, "--metrics"), config.timing
+            )
+            report["metrics"] = {
+                "data_bus_utilization": metrics.data_bus_utilization,
+                "row_bus_utilization": metrics.row_bus_utilization,
+                "col_bus_utilization": metrics.col_bus_utilization,
+                "turnaround_cycles": metrics.turnaround_cycles,
+                "bank_imbalance": bank_imbalance(
+                    metrics, config.geometry.num_banks
+                ),
+            }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
 
     print(f"kernel       : {kernel.name}  ({kernel.expression})")
     print(f"organization : {config.describe()}")
@@ -136,6 +210,18 @@ def _run(args) -> int:
           f"{result.activations} activations, "
           f"{result.bank_conflicts} bank conflicts, "
           f"{result.refreshes} refreshes")
+    if exported is not None:
+        print(f"trace        : {exported} records written to "
+              f"{args.trace_out}")
+
+    if args.stats:
+        print()
+        print(stalls.table())
+        if obs.counters.counters:
+            print()
+            print("counters:")
+            for name in sorted(obs.counters.counters):
+                print(f"  {name:28s} {obs.counters.get(name)}")
 
     if args.bounds:
         cache = natural_order_bound(
@@ -154,7 +240,7 @@ def _run(args) -> int:
     if args.audit:
         geometry = config.geometry
         report = audit_trace(
-            trace,
+            _require_trace(trace, "--audit"),
             config.timing,
             num_banks=geometry.num_banks,
             doubled_banks=geometry.doubled_banks,
@@ -163,7 +249,7 @@ def _run(args) -> int:
               f"{report.turnarounds} turnarounds)")
 
     if args.metrics:
-        metrics = measure_trace(trace, config.timing)
+        metrics = measure_trace(_require_trace(trace, "--metrics"), config.timing)
         print(f"bus load     : data {metrics.data_bus_utilization:.1%}, "
               f"row {metrics.row_bus_utilization:.1%}, "
               f"col {metrics.col_bus_utilization:.1%}; "
@@ -172,7 +258,7 @@ def _run(args) -> int:
 
     if args.gantt is not None:
         print()
-        print(render_trace(trace, until=args.gantt))
+        print(render_trace(_require_trace(trace, "--gantt"), until=args.gantt))
     return 0
 
 

@@ -25,6 +25,7 @@ from repro.errors import SchedulingError
 from repro.core.msu import IDLE
 from repro.core.smc import SmcSystem
 from repro.memsys.config import ELEMENT_BYTES
+from repro.obs.core import Instrumentation
 from repro.rdram.audit import audit_trace
 from repro.sim.results import SimulationResult
 
@@ -34,6 +35,7 @@ def run_smc(
     max_cycles: Optional[int] = None,
     audit: bool = False,
     dense: bool = False,
+    obs: Optional[Instrumentation] = None,
 ) -> SimulationResult:
     """Simulate an SMC system to completion.
 
@@ -49,6 +51,10 @@ def run_smc(
             interesting one.  Slower but trivially correct; the
             property tests assert both modes produce identical
             results, validating the skip logic.
+        obs: Optional instrumentation to attach to every component for
+            this run.  Events are recorded only at state-change cycles,
+            which both the dense and skip engines visit, so the two
+            modes produce identical event streams.
 
     Returns:
         The simulation result.
@@ -59,6 +65,8 @@ def run_smc(
     processor = system.processor
     msu = system.msu
     sbu = system.sbu
+    if obs is not None:
+        _attach_instrumentation(system, obs)
     total_units = sum(len(fifo.units) for fifo in sbu)
     if max_cycles is None:
         max_cycles = 10_000 + 100 * total_units
@@ -66,6 +74,8 @@ def run_smc(
     heap: List[Tuple[int, int, int]] = []
     cycle = 0
     while True:
+        if obs is not None:
+            obs.now = cycle
         fired = False
         while heap and heap[0][0] <= cycle:
             __, fifo_index, elements = heapq.heappop(heap)
@@ -98,6 +108,8 @@ def run_smc(
             )
 
     end_cycle = max(msu.last_data_end, (processor.last_retire_cycle or 0))
+    if obs is not None:
+        _finish_instrumentation(system, obs, end_cycle)
     if audit:
         geometry = system.config.geometry
         audit_trace(
@@ -131,6 +143,34 @@ def run_smc(
         refreshes=(
             system.refresh.refreshes_issued if system.refresh else 0
         ),
+    )
+
+
+def _attach_instrumentation(system: SmcSystem, obs: Instrumentation) -> None:
+    """Point every component's ``obs`` attribute at one recorder."""
+    system.device.obs = obs
+    system.msu.obs = obs
+    system.processor.obs = obs
+    if system.refresh is not None:
+        system.refresh.obs = obs
+    system.sbu.attach_obs(obs)
+
+
+def _finish_instrumentation(
+    system: SmcSystem, obs: Instrumentation, end_cycle: int
+) -> None:
+    """Close open spans and record the run metadata attribution needs."""
+    system.msu.finish_observation(end_cycle)
+    system.device.finish_observation(end_cycle)
+    timing = system.config.timing
+    obs.meta.update(
+        kernel=system.kernel.name,
+        organization=system.config.describe(),
+        policy=system.msu.policy.name,
+        cycles=end_cycle,
+        last_data_end=system.msu.last_data_end,
+        t_pack=timing.t_pack,
+        t_rw=timing.t_rw,
     )
 
 

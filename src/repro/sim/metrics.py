@@ -164,8 +164,11 @@ def measure_trace(
             set(activations) | set(precharges) | set(column_accesses)
         )
     }
+    # The final window is usually cut short by the end of the trace;
+    # divide by the covered extent, not the nominal width, so a fully
+    # busy tail reads 1.0 instead of an artifact below it.
     timeline = tuple(
-        (bucket * window, count / window)
+        (bucket * window, count / min(window, end - bucket * window))
         for bucket, count in sorted(windows.items())
     )
     return TraceMetrics(

@@ -14,6 +14,7 @@ from repro.cpu.streams import Alignment
 from repro.core.policies import POLICIES, SchedulingPolicy
 from repro.core.smc import build_smc_system
 from repro.memsys.config import MemorySystemConfig
+from repro.obs.core import Instrumentation
 from repro.sim.engine import run_smc
 from repro.sim.results import SimulationResult
 
@@ -64,6 +65,7 @@ def simulate_kernel(
     policy: Union[str, SchedulingPolicy, None] = None,
     audit: bool = False,
     refresh: bool = False,
+    obs: Optional[Instrumentation] = None,
 ) -> SimulationResult:
     """Simulate one streaming kernel on an SMC-equipped RDRAM system.
 
@@ -82,6 +84,9 @@ def simulate_kernel(
             auditor after the run (slower; implies trace recording).
         refresh: Run a background refresh engine (the paper ignores
             refresh; enable to measure its cost).
+        obs: Optional :class:`~repro.obs.core.Instrumentation` to
+            record counters, spans and DATA-bus gaps for this run (see
+            :mod:`repro.obs`).  Default None costs nothing.
 
     Returns:
         The simulation result, including percent-of-peak bandwidth.
@@ -107,4 +112,4 @@ def simulate_kernel(
         record_trace=audit,
         refresh=refresh,
     )
-    return run_smc(system, audit=audit)
+    return run_smc(system, audit=audit, obs=obs)

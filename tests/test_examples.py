@@ -26,6 +26,7 @@ EXPECTED_SNIPPETS = {
     "sparse_gather.py": "sparse, random",
     "dram_generations.py": "Direct RDRAM",
     "inspect_a_run.py": "protocol audit",
+    "stall_attribution.py": "stall attribution",
 }
 
 

@@ -71,6 +71,18 @@ class TestMeasureTrace:
         steady = [u for __, u in metrics.utilization_timeline[1:-1]]
         assert max(steady) > 0.8
 
+    def test_timeline_tail_bucket_normalized_by_covered_extent(self):
+        # Back-to-back packets ending 8 cycles into the last window: a
+        # fully busy tail must read 1.0, not 8/window.
+        device = RdramDevice(record_trace=True)
+        device.issue_act(0, 0, 0)
+        for __ in range(18):
+            device.issue_col(0, 0, 0, 0, BusDirection.WRITE)
+        metrics = measure_trace(device.trace, window=64)
+        assert metrics.utilization_timeline[-1][1] == pytest.approx(1.0)
+        for __, utilization in metrics.utilization_timeline:
+            assert 0.0 < utilization <= 1.0
+
     def test_empty_trace(self):
         metrics = measure_trace([])
         assert metrics.cycles == 0

@@ -1,0 +1,272 @@
+"""Tests for the observability layer: counters, spans, attribution, export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.core.smc import build_smc_system
+from repro.cpu.kernels import get_kernel
+from repro.naturalorder.controller import NaturalOrderController
+from repro.obs import (
+    BUCKETS,
+    CounterRegistry,
+    EventTracer,
+    Instrumentation,
+    attribute_stalls,
+)
+from repro.obs.cli import main as trace_main
+from repro.obs.export import (
+    load_trace_file,
+    rebuild_instrumentation,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim.cli import main as simulate_main
+from repro.sim.engine import run_smc
+from repro.sim.metrics import measure_trace
+from repro.sim.runner import resolve_config, simulate_kernel
+
+KERNELS = ("copy", "daxpy", "vaxpy")
+ORGS = ("cli", "pi")
+
+
+def run_instrumented(kernel, org, length=1024, depth=64, **kwargs):
+    obs = Instrumentation()
+    result = simulate_kernel(kernel, org, length=length, fifo_depth=depth,
+                             obs=obs, **kwargs)
+    return obs, result
+
+
+class TestPrimitives:
+    def test_counters_and_gauges(self):
+        registry = CounterRegistry()
+        registry.incr("a")
+        registry.incr("a", 2)
+        registry.sample_gauge("g", 5, 1.5)
+        assert registry.get("a") == 3
+        assert registry.get("missing") == 0
+        assert registry.counters == {"a": 3}
+        assert registry.gauges == {"g": [(5, 1.5)]}
+
+    def test_tracer_spans_and_instants(self):
+        tracer = EventTracer()
+        tracer.add_span("msu", "idle:fifo", 10, 20, reason="full")
+        tracer.add_span("cpu", "stall:read", 0, 4)
+        tracer.add_instant("refresh", "forced_precharge", 7, bank=3)
+        assert tracer.tracks() == ["msu", "cpu", "refresh"]
+        (span,) = tracer.spans_on("msu", "idle")
+        assert span.duration == 10 and dict(span.args) == {"reason": "full"}
+        assert tracer.spans_on("msu", "nope") == []
+
+    def test_disabled_by_default(self):
+        system = build_smc_system(
+            get_kernel("copy"), resolve_config("cli"),
+            length=128, fifo_depth=16,
+        )
+        run_smc(system)
+        assert system.msu.obs is None
+        assert system.device.obs is None
+
+
+class TestStallAttribution:
+    @pytest.mark.parametrize("org", ORGS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_buckets_and_busy_sum_to_cycles(self, kernel, org):
+        obs, result = run_instrumented(kernel, org)
+        stalls = attribute_stalls(obs)
+        assert stalls.cycles == result.cycles
+        assert stalls.busy + sum(stalls.buckets.values()) == result.cycles
+        assert set(stalls.buckets) == set(BUCKETS)
+        assert all(value >= 0 for value in stalls.buckets.values())
+
+    @pytest.mark.parametrize("org", ORGS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_turnaround_bucket_matches_trace_metrics(self, kernel, org):
+        system = build_smc_system(
+            get_kernel(kernel), resolve_config(org),
+            length=1024, fifo_depth=64, record_trace=True,
+        )
+        obs = Instrumentation()
+        result = run_smc(system, obs=obs)
+        stalls = attribute_stalls(obs)
+        metrics = measure_trace(
+            system.device.trace, system.config.timing, result.cycles
+        )
+        assert stalls.buckets["turnaround"] == metrics.turnaround_cycles
+
+    def test_refresh_run_attributes_refresh_cycles(self):
+        obs, result = run_instrumented("daxpy", "pi", length=4096,
+                                       refresh=True)
+        stalls = attribute_stalls(obs)
+        assert stalls.total == result.cycles
+        assert obs.counters.get("refresh.issued") > 0
+        assert stalls.buckets["refresh"] > 0
+
+    @pytest.mark.parametrize("org", ORGS)
+    def test_natural_order_controller_closes(self, org):
+        obs = Instrumentation()
+        controller = NaturalOrderController(resolve_config(org))
+        result = controller.run(get_kernel("daxpy"), 1024, obs=obs)
+        stalls = attribute_stalls(obs)
+        assert stalls.total == result.cycles
+        assert obs.counters.get("controller.transactions") > 0
+
+    def test_attribution_needs_completed_run(self):
+        with pytest.raises(ObservabilityError):
+            attribute_stalls(Instrumentation())
+
+    def test_stall_table_renders(self):
+        obs, __ = run_instrumented("copy", "cli", length=128, depth=16)
+        table = attribute_stalls(obs).table()
+        assert "stall attribution" in table
+        for bucket in BUCKETS:
+            assert bucket in table
+
+
+class TestDenseSkipIdentity:
+    @pytest.mark.parametrize("org", ORGS)
+    def test_identical_event_streams(self, org):
+        streams = []
+        for dense in (False, True):
+            system = build_smc_system(
+                get_kernel("daxpy"), resolve_config(org),
+                length=256, fifo_depth=32,
+            )
+            obs = Instrumentation()
+            run_smc(system, dense=dense, obs=obs)
+            streams.append(obs)
+        skip, dense = streams
+        assert skip.tracer == dense.tracer
+        assert skip.counters == dense.counters
+        assert skip.gaps == dense.gaps
+        assert skip == dense
+
+
+class TestExportRoundTrip:
+    @pytest.mark.parametrize("fmt", ("chrome", "jsonl"))
+    def test_events_round_trip(self, fmt, tmp_path):
+        obs, result = run_instrumented("vaxpy", "pi", length=256, depth=32)
+        stalls = attribute_stalls(obs)
+        path = str(tmp_path / ("t.json" if fmt == "chrome" else "t.jsonl"))
+        write = write_chrome_trace if fmt == "chrome" else write_jsonl
+        count = write(path, obs, result={"cycles": result.cycles},
+                      stalls=stalls.as_dict())
+        assert count > 0
+        document = load_trace_file(path)
+        assert document.meta["kernel"] == "vaxpy"
+        assert document.result["cycles"] == result.cycles
+        assert document.stalls["buckets"]["turnaround"] == (
+            stalls.buckets["turnaround"]
+        )
+        rebuilt = rebuild_instrumentation(document)
+        assert rebuilt.counters == obs.counters
+        assert rebuilt.tracer == obs.tracer
+        assert rebuilt.meta == obs.meta
+
+    def test_chrome_trace_is_valid_trace_event_json(self, tmp_path):
+        obs, __ = run_instrumented("copy", "cli", length=128, depth=16)
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, obs)
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert isinstance(document["traceEvents"], list)
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        for event in document["traceEvents"]:
+            assert "name" in event and "ph" in event
+
+    def test_unwritable_path_is_clean_error(self):
+        obs, __ = run_instrumented("copy", "cli", length=128, depth=16)
+        for write in (write_chrome_trace, write_jsonl):
+            with pytest.raises(ObservabilityError):
+                write("/nonexistent-dir/trace.out", obs)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        with pytest.raises(ObservabilityError):
+            load_trace_file(str(empty))
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ObservabilityError):
+            load_trace_file(str(bad))
+        with pytest.raises(ObservabilityError):
+            load_trace_file(str(tmp_path / "missing.json"))
+
+
+class TestSimulateCliModes:
+    def test_json_mode(self, capsys):
+        assert simulate_main(["daxpy", "--org", "pi", "--length", "128",
+                              "--json", "--metrics"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["result"]["kernel"] == "daxpy"
+        assert report["stalls"]["cycles"] == report["result"]["cycles"]
+        assert report["stalls"]["busy"] + sum(
+            report["stalls"]["buckets"].values()
+        ) == report["result"]["cycles"]
+        assert report["counters"]["device.data_packets"] > 0
+        assert 0.0 <= report["metrics"]["data_bus_utilization"] <= 1.0
+
+    def test_json_excludes_gantt(self, capsys):
+        assert simulate_main(["copy", "--json", "--gantt"]) == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_stats_mode(self, capsys):
+        assert simulate_main(["copy", "--length", "128", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        assert "msu.decisions" in out
+
+    def test_trace_out_then_repro_trace(self, capsys, tmp_path):
+        path = str(tmp_path / "run.json")
+        assert simulate_main(["daxpy", "--org", "pi", "--length", "128",
+                              "--trace-out", path]) == 0
+        capsys.readouterr()
+        assert trace_main([path, "--stalls"]) == 0
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        assert "run cycles" in out
+
+    def test_trace_out_jsonl(self, capsys, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        assert simulate_main(["copy", "--length", "128",
+                              "--trace-out", path]) == 0
+        capsys.readouterr()
+        assert trace_main([path, "--counters"]) == 0
+        assert "device.data_packets" in capsys.readouterr().out
+
+
+class TestTraceCli:
+    def test_summary_and_spans(self, capsys, tmp_path):
+        path = str(tmp_path / "run.json")
+        simulate_main(["vaxpy", "--length", "128", "--trace-out", path])
+        capsys.readouterr()
+        assert trace_main([path]) == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out and "events" in out
+        assert trace_main([path, "--spans", "5"]) == 0
+        assert "msu" in capsys.readouterr().out
+
+    def test_missing_file_is_clean_error(self, capsys, tmp_path):
+        assert trace_main([str(tmp_path / "none.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_stalls_flag_without_embedded_stalls(self, capsys, tmp_path):
+        obs, __ = run_instrumented("copy", "cli", length=128, depth=16)
+        path = str(tmp_path / "bare.json")
+        write_chrome_trace(path, obs)
+        assert trace_main([path, "--stalls"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRequireTrace:
+    def test_metrics_without_trace_is_repro_error(self):
+        from repro.sim.cli import _require_trace
+
+        with pytest.raises(ObservabilityError) as excinfo:
+            _require_trace(None, "--metrics")
+        assert "--metrics" in str(excinfo.value)
+        assert _require_trace([], "--metrics") == []
