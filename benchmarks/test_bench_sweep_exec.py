@@ -1,0 +1,75 @@
+"""Benchmark the sweep-execution backend: serial vs process pool.
+
+Pins two properties of ``repro.exec``:
+
+* pooled results are full-equality identical to serial results, and
+* fanning a moderately heavy grid over workers does not cost more
+  wall-clock than running it serially (a lenient guard — the pool
+  must at least pay for its own startup).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.exec import run_specs
+from repro.sim.sweep import Sweep
+
+#: Heavy enough that pool startup amortizes (~40 ms per point).
+GRID = Sweep(
+    kernel=["copy", "daxpy", "vaxpy", "hydro"],
+    organization=["cli", "pi"],
+    length=2048,
+    fifo_depth=[32, 128],
+)
+
+
+def _workers() -> int:
+    return min(4, os.cpu_count() or 1)
+
+
+def test_serial_sweep(benchmark):
+    results = benchmark.pedantic(
+        run_specs, args=(GRID.specs(),), rounds=1, iterations=1
+    )
+    assert len(results) == GRID.size
+
+
+def test_pooled_sweep(benchmark):
+    results = benchmark.pedantic(
+        run_specs,
+        args=(GRID.specs(),),
+        kwargs={"workers": _workers()},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == GRID.size
+
+
+def test_pool_speedup_guard(benchmark):
+    """Pooled wall clock must not regress past serial wall clock."""
+    specs = GRID.specs()
+    workers = _workers()
+
+    def measure():
+        start = time.perf_counter()
+        serial = run_specs(specs)
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        pooled = run_specs(specs, workers=workers)
+        pooled_s = time.perf_counter() - start
+        return serial, pooled, serial_s, pooled_s
+
+    serial, pooled, serial_s, pooled_s = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert pooled == serial
+    if workers > 1:
+        # Lenient: on a loaded CI box a 4-way pool may not hit 4x, but
+        # it must never be slower than 1.5x the serial run.
+        assert pooled_s <= serial_s * 1.5, (
+            f"pool regression: serial {serial_s:.2f}s, "
+            f"pooled({workers}) {pooled_s:.2f}s"
+        )

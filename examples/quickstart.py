@@ -6,6 +6,10 @@ the paper's two organizations — cacheline-interleaved/closed-page (CLI)
 and page-interleaved/open-page (PI) — with and without the Stream
 Memory Controller, and compares against the analytic limits.
 
+Everything here uses the curated top-level API (see docs/api.md):
+``repro.RunSpec`` + ``repro.simulate`` for single runs and
+``repro.sweep`` for grids; no deep module paths needed.
+
 Run: python examples/quickstart.py
 """
 
@@ -13,9 +17,11 @@ from repro import (
     KERNELS,
     MemorySystemConfig,
     NaturalOrderController,
+    RunSpec,
     natural_order_bound,
-    simulate_kernel,
+    simulate,
     smc_bound,
+    sweep,
 )
 
 
@@ -37,7 +43,10 @@ def main() -> None:
               f"{baseline.percent_of_peak:5.1f}% of peak "
               f"(analytic limit {cache_limit.percent_of_peak:.1f}%)")
 
-        smc = simulate_kernel(kernel, config, length=1024, fifo_depth=128)
+        smc = simulate(RunSpec(
+            kernel="daxpy", organization=org_name, length=1024,
+            fifo_depth=128,
+        ))
         limit = smc_bound(
             config, kernel.num_read_streams, kernel.num_write_streams,
             length=1024, fifo_depth=128,
@@ -50,6 +59,13 @@ def main() -> None:
         print(f"effective bandwidth: "
               f"{smc.effective_bandwidth_bytes_per_sec / 1e9:.2f} GB/s "
               f"of the 1.6 GB/s peak\n")
+
+    # A sweep in one call: FIFO depth sensitivity for daxpy on PI.
+    # (Add workers=N for a process pool, cache="DIR" to reuse results.)
+    print("--- daxpy on PI: % of peak vs FIFO depth ---")
+    for result in sweep(kernel="daxpy", organization="pi",
+                        fifo_depth=[8, 16, 32, 64, 128]):
+        print(f"f={result.fifo_depth:3d}  {result.percent_of_peak:5.1f}%")
 
 
 if __name__ == "__main__":

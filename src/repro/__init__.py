@@ -61,6 +61,7 @@ from repro.cpu import (
 from repro.errors import (
     CompileError,
     ConfigurationError,
+    ExecutionError,
     ObservabilityError,
     ProtocolError,
     ReproError,
@@ -90,6 +91,7 @@ from repro.rdram import (
     audit_trace,
 )
 from repro.sim import (
+    RunSpec,
     SimulationResult,
     Sweep,
     TraceMetrics,
@@ -97,8 +99,12 @@ from repro.sim import (
     measure_trace,
     pivot,
     run_smc,
+    simulate,
     simulate_kernel,
+    sweep,
 )
+from repro.exec import ResultCache, execution, run_specs
+from repro.experiments.registry import get_experiment, list_experiments
 
 __version__ = "1.0.0"
 
@@ -137,6 +143,7 @@ __all__ = [
     "place_streams",
     "CompileError",
     "ConfigurationError",
+    "ExecutionError",
     "ObservabilityError",
     "ProtocolError",
     "ReproError",
@@ -163,6 +170,7 @@ __all__ = [
     "RdramGeometry",
     "RdramTiming",
     "audit_trace",
+    "RunSpec",
     "SimulationResult",
     "Sweep",
     "TraceMetrics",
@@ -170,6 +178,13 @@ __all__ = [
     "measure_trace",
     "pivot",
     "run_smc",
+    "simulate",
     "simulate_kernel",
+    "sweep",
+    "ResultCache",
+    "execution",
+    "run_specs",
+    "get_experiment",
+    "list_experiments",
     "__version__",
 ]

@@ -56,6 +56,15 @@ class ObservabilityError(ReproError):
     """
 
 
+class ExecutionError(ReproError):
+    """The sweep-execution backend could not complete a batch of runs.
+
+    Raised when a worker process crashes repeatedly on the same sweep
+    points (exhausting the retry budget), or when the process pool
+    cannot be (re)started at all.
+    """
+
+
 class CompileError(ReproError):
     """A loop could not be compiled into stream descriptors.
 

@@ -1,0 +1,38 @@
+"""Sweep execution: process-pool fan-out and a content-addressed result cache.
+
+The paper's evaluation is a large simulation grid; this package makes
+walking it cheap.  :func:`run_specs` executes a batch of
+:class:`~repro.sim.runner.RunSpec` points — serially or across a
+process pool — returning results in input order, with per-point
+progress and crash retry.  :class:`ResultCache` stores every
+:class:`~repro.sim.results.SimulationResult` on disk under a content
+hash of the spec plus a simulator-version salt, so repeated points
+are never re-simulated.  :func:`execution` installs both ambiently
+for whole experiment runs.
+
+    >>> from repro.exec import ResultCache, execution, run_specs
+    >>> from repro.sim.runner import RunSpec
+    >>> with execution(workers=4, cache=ResultCache("/tmp/repro-cache")):
+    ...     results = run_specs([RunSpec(kernel="copy", length=128)])
+    ... # doctest: +SKIP
+"""
+
+from repro.exec.cache import ResultCache, default_salt
+from repro.exec.context import (
+    ExecutionContext,
+    active_cache,
+    active_workers,
+    execution,
+)
+from repro.exec.pool import ProgressEvent, run_specs
+
+__all__ = [
+    "ResultCache",
+    "default_salt",
+    "ExecutionContext",
+    "active_cache",
+    "active_workers",
+    "execution",
+    "ProgressEvent",
+    "run_specs",
+]

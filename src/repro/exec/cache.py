@@ -1,0 +1,142 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Every cache entry is addressed by the SHA-256 of the run's
+:meth:`~repro.sim.runner.RunSpec.canonical_key` prefixed with a
+*simulator-version salt*.  Because the key is derived purely from the
+content of the spec (and specs normalize on construction), any
+experiment, benchmark, or sweep that re-simulates a previously seen
+point — however it spelled the parameters — hits the same entry.
+
+Layout on disk (one JSON file per result, sharded by key prefix)::
+
+    <root>/objects/<key[:2]>/<key>.json
+
+Each file stores the salt, the full spec dict, and the result dict,
+so entries are self-describing and auditable with a text editor.
+
+Invalidation is by salt: changing the salt changes every key, so a
+new simulator version simply stops seeing the old entries (they can
+be removed with :meth:`ResultCache.clear`).  The default salt is the
+repro package version — bump ``repro.__version__`` whenever a change
+alters simulated outcomes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.sim.runner import RunSpec
+
+
+def default_salt() -> str:
+    """The package-version salt new caches use."""
+    from repro import __version__
+
+    return f"repro-{__version__}"
+
+
+class ResultCache:
+    """Content-addressed store of :class:`SimulationResult` records.
+
+    Attributes:
+        root: Cache directory (created lazily on first store).
+        salt: Simulator-version salt folded into every key.
+        hits, misses, stores: Lookup statistics for this instance.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, "os.PathLike[str]"],
+        salt: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root).expanduser()
+        self.salt = default_salt() if salt is None else salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- addressing -----------------------------------------------------
+
+    def key_for(self, spec: RunSpec) -> str:
+        """The content hash addressing ``spec`` under this salt.
+
+        Raises:
+            ConfigurationError: If the spec is not serializable (e.g.
+                it holds a custom policy instance).
+        """
+        material = f"{self.salt}\n{spec.canonical_key()}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        """Where ``spec``'s result lives (whether or not it exists)."""
+        key = self.key_for(spec)
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    # -- lookup / store -------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[SimulationResult]:
+        """The stored result for ``spec``, or None.
+
+        Unserializable specs and corrupt or truncated entries read as
+        misses (a corrupt entry is overwritten by the next store).
+        """
+        try:
+            path = self.path_for(spec)
+        except ConfigurationError:
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            result = SimulationResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, ConfigurationError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: SimulationResult) -> bool:
+        """Store ``result`` under ``spec``; False if uncacheable."""
+        try:
+            path = self.path_for(spec)
+            payload = {
+                "salt": self.salt,
+                "spec": spec.to_dict(),
+                "result": result.to_dict(),
+            }
+        except ConfigurationError:
+            return False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        self.stores += 1
+        return True
+
+    # -- maintenance ----------------------------------------------------
+
+    def _entries(self) -> Iterator[Path]:
+        objects = self.root / "objects"
+        if objects.is_dir():
+            yield from objects.glob("*/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.root)!r}, salt={self.salt!r}, "
+            f"hits={self.hits}, misses={self.misses}, stores={self.stores})"
+        )

@@ -1,0 +1,87 @@
+"""Ambient execution settings for sweeps and experiments.
+
+The experiment harness is many layers deep — CLI over experiment
+modules over :class:`~repro.sim.sweep.Sweep` over
+:func:`~repro.sim.runner.simulate` — and threading ``workers=`` /
+``cache=`` through every signature would couple all of them to the
+execution backend.  Instead, :func:`execution` installs an ambient
+:class:`ExecutionContext`; :func:`repro.exec.pool.run_specs` picks up
+the worker count and cache from it, and
+:func:`repro.sim.runner.simulate` consults the cache directly, so any
+code path that simulates a previously seen point gets the stored
+result.
+
+    >>> from repro.exec import execution
+    >>> with execution(workers=4, cache="~/.cache/repro"):
+    ...     figure7.run()        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+from repro.exec.cache import ResultCache
+
+
+@dataclass
+class ExecutionContext:
+    """Ambient sweep-execution settings.
+
+    Attributes:
+        workers: Process-pool size for sweep fan-out; None or <= 1
+            means in-process serial execution.
+        cache: Result cache consulted and filled by every simulation.
+    """
+
+    workers: Optional[int] = None
+    cache: Optional[ResultCache] = None
+
+
+_STACK: List[ExecutionContext] = []
+
+
+def coerce_cache(
+    cache: Union[ResultCache, str, "os.PathLike[str]", None]
+) -> Optional[ResultCache]:
+    """Accept a ResultCache, a directory path, or None."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+@contextmanager
+def execution(
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, "os.PathLike[str]", None] = None,
+) -> Iterator[ExecutionContext]:
+    """Install an ambient execution context for the enclosed block.
+
+    Contexts nest; the innermost one wins.  ``cache`` may be a
+    :class:`~repro.exec.cache.ResultCache` or a directory path.
+    """
+    context = ExecutionContext(workers=workers, cache=coerce_cache(cache))
+    _STACK.append(context)
+    try:
+        yield context
+    finally:
+        _STACK.remove(context)
+
+
+def current() -> Optional[ExecutionContext]:
+    """The innermost active context, or None."""
+    return _STACK[-1] if _STACK else None
+
+
+def active_cache() -> Optional[ResultCache]:
+    """The active context's result cache, or None."""
+    context = current()
+    return context.cache if context else None
+
+
+def active_workers() -> Optional[int]:
+    """The active context's worker count, or None."""
+    context = current()
+    return context.workers if context else None

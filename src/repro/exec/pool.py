@@ -1,0 +1,219 @@
+"""Sweep-point execution: serial, pooled, and cached.
+
+:func:`run_specs` is the one entry point.  Give it a list of
+:class:`~repro.sim.runner.RunSpec` and it returns the matching
+:class:`~repro.sim.results.SimulationResult` list *in input order*,
+regardless of backend:
+
+* cache-first — points already in the active/given
+  :class:`~repro.exec.cache.ResultCache` are never re-simulated;
+* ``workers > 1`` fans the remaining points out over a process pool,
+  streaming per-point progress back as completions arrive;
+* a worker crash (segfault, OOM-kill, ``os._exit``) breaks the pool;
+  the unfinished points are resubmitted to a fresh pool, once per
+  point by default, before :class:`~repro.errors.ExecutionError` is
+  raised.
+
+Specs cross the process boundary as their
+:meth:`~repro.sim.runner.RunSpec.to_dict` form and results return as
+:meth:`~repro.sim.results.SimulationResult.to_dict` payloads, so no
+simulator object graph is ever pickled.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ExecutionError
+from repro.exec import context as _context
+from repro.exec.cache import ResultCache
+from repro.sim import runner as _runner
+from repro.sim.results import SimulationResult
+from repro.sim.runner import RunSpec
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed sweep point, reported as it lands.
+
+    Attributes:
+        index: Position of the point in the input spec list.
+        done: Points completed so far (including this one).
+        total: Total points in the batch.
+        spec: The point's specification.
+        result: The point's result.
+        cached: True if the result came from the cache.
+    """
+
+    index: int
+    done: int
+    total: int
+    spec: RunSpec
+    result: SimulationResult
+    cached: bool
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+# Test hooks: set REPRO_EXEC_CRASH_KERNEL=<kernel name> to make worker
+# processes die (os._exit) when they pick up that kernel, simulating a
+# segfault.  If REPRO_EXEC_CRASH_ONCE names a file path, the crash
+# happens only while the file is absent (it is created on the way
+# down), so exactly one worker dies and the retry path is exercised.
+_CRASH_KERNEL_VAR = "REPRO_EXEC_CRASH_KERNEL"
+_CRASH_ONCE_VAR = "REPRO_EXEC_CRASH_ONCE"
+
+
+def _maybe_crash(spec: RunSpec) -> None:
+    target = os.environ.get(_CRASH_KERNEL_VAR)
+    if not target or spec.kernel != target:
+        return
+    sentinel = os.environ.get(_CRASH_ONCE_VAR)
+    if sentinel:
+        try:
+            fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return  # already crashed once; behave this time
+        os.close(fd)
+    os._exit(73)
+
+
+def _worker_run(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: dict in, dict out."""
+    spec = RunSpec.from_dict(payload)
+    _maybe_crash(spec)
+    return _runner.simulate(spec).to_dict()
+
+
+def run_specs(
+    specs: Iterable[RunSpec],
+    *,
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, "os.PathLike[str]", None] = None,
+    progress: Optional[ProgressCallback] = None,
+    retries: int = 1,
+) -> List[SimulationResult]:
+    """Execute a batch of run specifications.
+
+    Args:
+        specs: The points to simulate.
+        workers: Pool size; None falls back to the active
+            :func:`~repro.exec.context.execution` context, and values
+            <= 1 run serially in-process.
+        cache: Result cache (or its directory path); None falls back
+            to the active context's cache.  Hits skip simulation;
+            fresh results are stored.
+        progress: Callback receiving a :class:`ProgressEvent` per
+            completed point, in completion order.
+        retries: How many times a point may be involved in a worker
+            crash and still be resubmitted.
+
+    Returns:
+        Results in the same order as ``specs``.
+
+    Raises:
+        ExecutionError: When crashes exhaust the retry budget.
+        ConfigurationError: When ``workers > 1`` and a spec is not
+            serializable for transport.
+    """
+    specs = list(specs)
+    if workers is None:
+        workers = _context.active_workers()
+    cache = _context.coerce_cache(cache)
+    if cache is None:
+        cache = _context.active_cache()
+
+    total = len(specs)
+    results: List[Optional[SimulationResult]] = [None] * total
+    pending: Dict[int, RunSpec] = {}
+    done = 0
+
+    for index, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            done += 1
+            if progress is not None:
+                progress(ProgressEvent(index, done, total, spec, hit, True))
+        else:
+            pending[index] = spec
+
+    def landed(index: int, result: SimulationResult) -> None:
+        nonlocal done
+        results[index] = result
+        del pending[index]
+        done += 1
+        if cache is not None:
+            cache.put(specs[index], result)
+        if progress is not None:
+            progress(
+                ProgressEvent(index, done, total, specs[index], result, False)
+            )
+
+    if not pending:
+        return results  # fully warm
+
+    if workers is not None and workers > 1:
+        _run_pooled(pending, workers, retries, landed)
+    else:
+        for index in sorted(pending):
+            landed(index, _runner.simulate(specs[index]))
+    return results
+
+
+def _run_pooled(
+    pending: Dict[int, RunSpec],
+    workers: int,
+    retries: int,
+    landed: Callable[[int, SimulationResult], None],
+) -> None:
+    """Drain ``pending`` through process pools, retrying after crashes."""
+    # Serialize up front so unserializable specs fail fast and clearly.
+    payloads = {index: spec.to_dict() for index, spec in pending.items()}
+    attempts = {index: 0 for index in pending}
+    while pending:
+        crash: Optional[BaseException] = None
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(_worker_run, payloads[index]): index
+                for index in sorted(pending)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    payload = future.result()
+                except BrokenProcessPool as error:
+                    crash = error
+                    break  # every remaining future is equally broken
+                landed(index, SimulationResult.from_dict(payload))
+        if crash is None:
+            continue  # pending is empty; loop exits
+        # We cannot tell which in-flight point killed the worker, so
+        # every unfinished point is charged one attempt and resubmitted.
+        exhausted = _charge_crash(pending, attempts, retries)
+        if exhausted:
+            labels = ", ".join(spec.describe() for spec in exhausted)
+            raise ExecutionError(
+                f"worker pool crashed {retries + 1} times while running "
+                f"{len(exhausted)} sweep point(s): {labels}"
+            ) from crash
+
+
+def _charge_crash(
+    pending: Dict[int, RunSpec],
+    attempts: Dict[int, int],
+    retries: int,
+) -> Sequence[RunSpec]:
+    """Charge an attempt to every unfinished point; return the exhausted."""
+    exhausted = []
+    for index in sorted(pending):
+        attempts[index] += 1
+        if attempts[index] > retries:
+            exhausted.append(pending[index])
+    return exhausted

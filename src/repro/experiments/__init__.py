@@ -16,8 +16,16 @@ from repro.experiments import (
     timelines,
 )
 from repro.experiments.rendering import ExperimentTable, render_all
+from repro.experiments.registry import (
+    Experiment,
+    get_experiment,
+    list_experiments,
+)
 
 __all__ = [
+    "Experiment",
+    "get_experiment",
+    "list_experiments",
     "cache_reality",
     "channel",
     "doublebank",

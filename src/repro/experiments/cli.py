@@ -1,8 +1,14 @@
 """Command-line entry point regenerating every table and figure.
 
 Run ``repro-experiments`` (installed console script) or
-``python -m repro.experiments.cli``.  Text renderings go to stdout;
-``--csv-dir`` additionally writes one CSV per experiment.
+``python -m repro.experiments.cli``.  Experiments are resolved
+through :mod:`repro.experiments.registry`; text renderings go to
+stdout, ``--csv-dir`` additionally writes one CSV per experiment, and
+``--workers``/``--cache`` install a sweep-execution context so the
+simulation grids fan out across processes and reuse previously
+simulated points (see :mod:`repro.exec`)::
+
+    repro-experiments figure7 figure9 --workers 4 --cache ~/.cache/repro
 """
 
 from __future__ import annotations
@@ -13,21 +19,10 @@ import time
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-from repro.experiments import (
-    cache_reality,
-    fpm_heritage,
-    l2_tradeoff,
-    channel,
-    doublebank,
-    figure7,
-    figure8,
-    figure9,
-    headline,
-    refresh_ablation,
-    tables,
-    timelines,
-)
+from repro.errors import ConfigurationError
+from repro.exec import execution
 from repro.experiments import rendering
+from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.rendering import ExperimentTable
 
 
@@ -35,61 +30,20 @@ def _chartable(slug: str) -> bool:
     """Sweep experiments whose columns are percentages to plot."""
     return slug.startswith(("figure7", "figure8", "figure9", "channel"))
 
-EXPERIMENTS = (
-    "figure1",
-    "figure2",
-    "timelines",
-    "figure7",
-    "figure8",
-    "figure9",
-    "headline",
-    "channel",
-    "refresh",
-    "doublebank",
-    "cache",
-    "l2",
-    "fpm",
-)
+
+#: Registry names in default run order (kept as a tuple for back-compat).
+EXPERIMENTS = tuple(list_experiments())
 
 
 def collect(names: Sequence[str]) -> List[Tuple[str, ExperimentTable]]:
     """Run the named experiments, returning (slug, table) pairs."""
     out: List[Tuple[str, ExperimentTable]] = []
     for name in names:
-        if name == "figure1":
-            out.append(("figure1", tables.figure1_table()))
-        elif name == "figure2":
-            out.append(("figure2", tables.figure2_table()))
-        elif name == "timelines":
-            for org in ("cli", "pi"):
-                out.append((f"timeline_{org}", timelines.three_stream_timeline(org).table))
-        elif name == "figure7":
-            for panel in figure7.run():
-                slug = f"figure7_{panel.kernel}_{panel.organization}_{panel.length}"
-                out.append((slug, panel.table))
-        elif name == "figure8":
-            out.append(("figure8", figure8.run()))
-        elif name == "figure9":
-            out.append(("figure9", figure9.run()))
-        elif name == "headline":
-            for index, table in enumerate(headline.run()):
-                out.append((f"headline_{index}", table))
-        elif name == "channel":
-            out.append(("channel", channel.run()))
-        elif name == "refresh":
-            out.append(("refresh", refresh_ablation.run()))
-        elif name == "doublebank":
-            out.append(("doublebank", doublebank.run()))
-        elif name == "cache":
-            for index, table in enumerate(cache_reality.run()):
-                out.append((f"cache_{index}", table))
-        elif name == "l2":
-            for index, table in enumerate(l2_tradeoff.run()):
-                out.append((f"l2_{index}", table))
-        elif name == "fpm":
-            out.append(("fpm", fpm_heritage.run()))
-        else:
-            raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+        try:
+            experiment = get_experiment(name)
+        except ConfigurationError as error:
+            raise SystemExit(str(error)) from None
+        out.extend(experiment.build())
     return out
 
 
@@ -122,24 +76,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="additionally render sweep experiments as text charts",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan simulation grids out over N worker processes",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory; previously "
+             "simulated points are reused instead of re-run",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered experiments and exit",
+    )
     args = parser.parse_args(argv)
+    if args.list:
+        for name in list_experiments():
+            sys.stdout.write(
+                f"{name:12s} {get_experiment(name).description}\n"
+            )
+        return 0
     started = time.time()
-    results = collect(args.experiments or EXPERIMENTS)
-    for slug, table in results:
-        sys.stdout.write(table.render())
-        sys.stdout.write("\n")
-        if args.charts and _chartable(slug):
-            sys.stdout.write(rendering.render_chart(table))
+    with execution(workers=args.workers, cache=args.cache):
+        results = collect(args.experiments or EXPERIMENTS)
+        for slug, table in results:
+            sys.stdout.write(table.render())
             sys.stdout.write("\n")
-        if args.csv_dir:
-            args.csv_dir.mkdir(parents=True, exist_ok=True)
-            (args.csv_dir / f"{slug}.csv").write_text(table.to_csv())
-    if args.report:
-        from repro.experiments.report import generate_report
+            if args.charts and _chartable(slug):
+                sys.stdout.write(rendering.render_chart(table))
+                sys.stdout.write("\n")
+            if args.csv_dir:
+                args.csv_dir.mkdir(parents=True, exist_ok=True)
+                (args.csv_dir / f"{slug}.csv").write_text(table.to_csv())
+        if args.report:
+            from repro.experiments.report import generate_report
 
-        args.report.parent.mkdir(parents=True, exist_ok=True)
-        args.report.write_text(generate_report())
-        sys.stdout.write(f"wrote reproduction report to {args.report}\n")
+            args.report.parent.mkdir(parents=True, exist_ok=True)
+            args.report.write_text(generate_report())
+            sys.stdout.write(f"wrote reproduction report to {args.report}\n")
     sys.stdout.write(
         f"ran {len(results)} tables in {time.time() - started:.1f}s\n"
     )

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.cpu.kernels import PAPER_KERNELS, get_kernel
+from repro.cpu.kernels import PAPER_KERNELS
+from repro.exec.pool import run_specs
 from repro.experiments.rendering import ExperimentTable
 from repro.memsys.config import MemorySystemConfig
 from repro.rdram.device import RdramGeometry
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec
 
 LENGTH = 1024
 FIFO_DEPTH = 64
@@ -37,17 +38,22 @@ def run(kernels: Sequence[str] = tuple(PAPER_KERNELS)) -> ExperimentTable:
         title="Double-bank ablation — SMC % of peak by core architecture",
         headers=("kernel", "org") + tuple(CORES),
     )
-    for name in kernels:
-        kernel = get_kernel(name)
-        for org in ("cli", "pi"):
-            row = [name, org.upper()]
-            for geometry in CORES.values():
-                config = getattr(MemorySystemConfig, org)(geometry=geometry)
-                result = simulate_kernel(
-                    kernel, config, length=LENGTH, fifo_depth=FIFO_DEPTH
-                )
-                row.append(result.percent_of_peak)
-            table.add_row(*row)
+    grid = [(name, org) for name in kernels for org in ("cli", "pi")]
+    specs = [
+        RunSpec(
+            kernel=name,
+            organization=getattr(MemorySystemConfig, org)(geometry=geometry),
+            length=LENGTH,
+            fifo_depth=FIFO_DEPTH,
+        )
+        for name, org in grid
+        for geometry in CORES.values()
+    ]
+    simulated = iter(run_specs(specs))
+    for name, org in grid:
+        row = [name, org.upper()]
+        row.extend(next(simulated).percent_of_peak for _ in CORES)
+        table.add_row(*row)
     table.notes.append(
         "The 16-bank double-bank core tracks the 8-independent-bank "
         "device, confirming the paper's 'effectively eight' remark; "

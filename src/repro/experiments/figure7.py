@@ -15,14 +15,16 @@ report the same four series the paper plots:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analytic.cache import natural_order_bound
 from repro.analytic.smc import smc_bound
 from repro.cpu.kernels import PAPER_KERNELS, Kernel, get_kernel
+from repro.exec.pool import run_specs
 from repro.experiments.rendering import ExperimentTable
 from repro.memsys.config import MemorySystemConfig
-from repro.sim.runner import simulate_kernel
+from repro.sim.results import SimulationResult
+from repro.sim.runner import RunSpec
 
 #: FIFO depths the paper sweeps (Section 6).
 DEPTHS: Tuple[int, ...] = (8, 16, 32, 64, 128)
@@ -50,13 +52,31 @@ class Figure7Panel:
     table: ExperimentTable
 
 
-def run_panel(
+def _panel_specs(
+    kernel: Kernel, organization: str, length: int, depths: Sequence[int]
+) -> List[RunSpec]:
+    """The simulation grid behind one panel, in table order."""
+    return [
+        RunSpec(
+            kernel=kernel,
+            organization=organization,
+            length=length,
+            fifo_depth=depth,
+            alignment=alignment,
+        )
+        for depth in depths
+        for alignment in ("staggered", "aligned")
+    ]
+
+
+def _assemble_panel(
     kernel: Kernel,
     organization: str,
     length: int,
-    depths: Sequence[int] = DEPTHS,
+    depths: Sequence[int],
+    simulated: Dict[RunSpec, SimulationResult],
 ) -> Figure7Panel:
-    """Compute one panel: sweep FIFO depth for a fixed kernel/org/length."""
+    """Build one panel's table from already-simulated grid points."""
     config = (
         MemorySystemConfig.cli()
         if organization == "cli"
@@ -86,13 +106,17 @@ def run_panel(
             length,
             depth,
         )
-        staggered = simulate_kernel(
-            kernel, config, length=length, fifo_depth=depth,
-            alignment="staggered",
-        )
-        aligned = simulate_kernel(
-            kernel, config, length=length, fifo_depth=depth,
-            alignment="aligned",
+        staggered, aligned = (
+            simulated[
+                RunSpec(
+                    kernel=kernel,
+                    organization=organization,
+                    length=length,
+                    fifo_depth=depth,
+                    alignment=alignment,
+                )
+            ]
+            for alignment in ("staggered", "aligned")
         )
         table.add_row(
             depth,
@@ -109,6 +133,18 @@ def run_panel(
     )
 
 
+def run_panel(
+    kernel: Kernel,
+    organization: str,
+    length: int,
+    depths: Sequence[int] = DEPTHS,
+) -> Figure7Panel:
+    """Compute one panel: sweep FIFO depth for a fixed kernel/org/length."""
+    specs = _panel_specs(kernel, organization, length, depths)
+    simulated = dict(zip(specs, run_specs(specs)))
+    return _assemble_panel(kernel, organization, length, depths, simulated)
+
+
 def run(
     kernels: Sequence[str] = tuple(PAPER_KERNELS),
     organizations: Sequence[str] = ORGS,
@@ -118,14 +154,22 @@ def run(
     """Regenerate all panels of Figure 7.
 
     Defaults reproduce the full 16-panel figure; narrow the arguments
-    for quicker spot checks.
+    for quicker spot checks.  The entire figure is submitted as one
+    batch to :func:`repro.exec.pool.run_specs`, so an ambient
+    ``workers=`` context parallelizes across panels, not just within
+    one.
     """
-    panels = []
-    for name in kernels:
-        kernel = get_kernel(name)
-        for organization in organizations:
-            for length in lengths:
-                panels.append(
-                    run_panel(kernel, organization, length, depths)
-                )
-    return panels
+    grid = [
+        (get_kernel(name), organization, length)
+        for name in kernels
+        for organization in organizations
+        for length in lengths
+    ]
+    specs: List[RunSpec] = []
+    for kernel, organization, length in grid:
+        specs.extend(_panel_specs(kernel, organization, length, depths))
+    simulated = dict(zip(specs, run_specs(specs)))
+    return [
+        _assemble_panel(kernel, organization, length, depths, simulated)
+        for kernel, organization, length in grid
+    ]

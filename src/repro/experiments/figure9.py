@@ -21,9 +21,10 @@ from typing import Sequence, Tuple
 from repro.analytic.cache import natural_order_bound
 from repro.analytic.smc import smc_bound
 from repro.cpu.kernels import VAXPY
+from repro.exec.pool import run_specs
 from repro.experiments.rendering import ExperimentTable
 from repro.memsys.config import MemorySystemConfig
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec
 
 #: The paper's x-axis ticks run 4, 12, ..., 60; we sample every
 #: multiple of 4 to expose the multiple-of-16 dips it describes.
@@ -56,13 +57,21 @@ def run(
         ),
     )
     s_r, s_w = VAXPY.num_read_streams, VAXPY.num_write_streams
+    specs = [
+        RunSpec(
+            kernel=VAXPY,
+            organization=org,
+            length=length,
+            fifo_depth=fifo_depth,
+            stride=stride,
+        )
+        for stride in strides
+        for org in (pi, cli)
+    ]
+    simulated = iter(run_specs(specs))
     for stride in strides:
-        pi_smc = simulate_kernel(
-            VAXPY, pi, length=length, fifo_depth=fifo_depth, stride=stride
-        )
-        cli_smc = simulate_kernel(
-            VAXPY, cli, length=length, fifo_depth=fifo_depth, stride=stride
-        )
+        pi_smc = next(simulated)
+        cli_smc = next(simulated)
         pi_cache = natural_order_bound(pi, s_r, s_w, stride=stride)
         cli_cache = natural_order_bound(cli, s_r, s_w, stride=stride)
         # The non-unit-stride Section 5.2 extension (one element per

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.cpu.kernels import PAPER_KERNELS, get_kernel
+from repro.cpu.kernels import PAPER_KERNELS
+from repro.exec.pool import run_specs
 from repro.experiments.rendering import ExperimentTable
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec
 
 LENGTH = 1024
 FIFO_DEPTH = 64
@@ -31,24 +32,27 @@ def run(kernels: Sequence[str] = tuple(PAPER_KERNELS)) -> ExperimentTable:
             "refreshes",
         ),
     )
-    for name in kernels:
-        kernel = get_kernel(name)
-        for org in ("cli", "pi"):
-            base = simulate_kernel(
-                kernel, org, length=LENGTH, fifo_depth=FIFO_DEPTH
-            )
-            refreshed = simulate_kernel(
-                kernel, org, length=LENGTH, fifo_depth=FIFO_DEPTH,
-                refresh=True,
-            )
-            table.add_row(
-                name,
-                org.upper(),
-                base.percent_of_peak,
-                refreshed.percent_of_peak,
-                refreshed.percent_of_peak - base.percent_of_peak,
-                refreshed.refreshes,
-            )
+    grid = [(name, org) for name in kernels for org in ("cli", "pi")]
+    specs = [
+        RunSpec(
+            kernel=name, organization=org, length=LENGTH,
+            fifo_depth=FIFO_DEPTH, refresh=refresh,
+        )
+        for name, org in grid
+        for refresh in (False, True)
+    ]
+    simulated = iter(run_specs(specs))
+    for name, org in grid:
+        base = next(simulated)
+        refreshed = next(simulated)
+        table.add_row(
+            name,
+            org.upper(),
+            base.percent_of_peak,
+            refreshed.percent_of_peak,
+            refreshed.percent_of_peak - base.percent_of_peak,
+            refreshed.refreshes,
+        )
     table.notes.append(
         "One row refresh every ~1562 cycles meets a 32 ms retention "
         "window; the cost stays within ~3 points (usually under 1.5), "

@@ -3,8 +3,15 @@
 from repro.sim.engine import run_smc
 from repro.sim.metrics import BankStats, TraceMetrics, bank_imbalance, measure_trace
 from repro.sim.results import SimulationResult
-from repro.sim.runner import ORGANIZATIONS, resolve_config, resolve_policy, simulate_kernel
-from repro.sim.sweep import Sweep, pivot
+from repro.sim.runner import (
+    ORGANIZATIONS,
+    RunSpec,
+    resolve_config,
+    resolve_policy,
+    simulate,
+    simulate_kernel,
+)
+from repro.sim.sweep import Sweep, pivot, sweep
 
 __all__ = [
     "run_smc",
@@ -14,9 +21,12 @@ __all__ = [
     "measure_trace",
     "SimulationResult",
     "ORGANIZATIONS",
+    "RunSpec",
     "resolve_config",
     "resolve_policy",
+    "simulate",
     "simulate_kernel",
     "Sweep",
     "pivot",
+    "sweep",
 ]

@@ -32,9 +32,10 @@ from repro.obs import Instrumentation, attribute_stalls
 from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.rdram.audit import audit_trace
 from repro.rdram.tracefmt import render_trace
+from repro.exec import execution
 from repro.sim.engine import run_smc
 from repro.sim.metrics import bank_imbalance, measure_trace
-from repro.sim.runner import resolve_config, resolve_policy
+from repro.sim.runner import RunSpec, resolve_config, resolve_policy, simulate
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON report "
                              "instead of the human-readable one")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="content-addressed result cache directory; "
+                             "plain (trace-free, uninstrumented) runs "
+                             "reuse previously simulated results")
     return parser
 
 
@@ -141,6 +146,22 @@ def _run(args) -> int:
             obs=obs,
         )
         trace = controller.device.trace
+    elif not need_trace and not need_obs:
+        # Trace-free, uninstrumented SMC runs go through the RunSpec
+        # front door, where --cache can satisfy them instantly.
+        spec = RunSpec(
+            kernel=kernel,
+            organization=config,
+            length=args.length,
+            fifo_depth=args.fifo_depth,
+            stride=args.stride,
+            alignment=args.alignment,
+            policy=args.policy,
+            refresh=args.refresh,
+        )
+        with execution(cache=args.cache):
+            result = simulate(spec)
+        trace = None
     else:
         system = build_smc_system(
             kernel,

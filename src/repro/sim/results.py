@@ -15,7 +15,11 @@ percent of attainable, provided here as
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+from repro.errors import ConfigurationError
 from repro.rdram.timing import BYTES_PER_CYCLE_PEAK
 
 
@@ -100,6 +104,32 @@ class SimulationResult:
     def effective_bandwidth_bytes_per_sec(self) -> float:
         """Delivered useful bandwidth in bytes/second."""
         return self.percent_of_peak / 100.0 * 1_600_000_000
+
+    def to_dict(self) -> Dict[str, Any]:
+        """This result as a JSON-safe dict (all fields, no derived values).
+
+        The inverse of :meth:`from_dict`; used by the on-disk result
+        cache and for cross-process transport (:mod:`repro.exec`).
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result from a :meth:`to_dict` dict.
+
+        Unknown keys are ignored so payloads may carry derived values
+        (e.g. ``percent_of_peak``) alongside the stored fields.
+
+        Raises:
+            ConfigurationError: If a required field is missing.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        try:
+            return cls(**{k: v for k, v in data.items() if k in names})
+        except TypeError as err:
+            raise ConfigurationError(
+                f"malformed SimulationResult payload: {err}"
+            ) from None
 
     def summary(self) -> str:
         """One-line human-readable result."""

@@ -1,20 +1,33 @@
 """One-call simulation API.
 
-:func:`simulate_kernel` is the library's front door: name a kernel,
-pick an organization, and get a :class:`~repro.sim.results.SimulationResult`.
+Two front doors, one engine:
+
+* :class:`RunSpec` + :func:`simulate` — the canonical API.  A frozen,
+  hashable, JSON-serializable description of one simulation; the
+  result cache and the process-pool sweep backend (:mod:`repro.exec`)
+  are both keyed on :meth:`RunSpec.canonical_key`.
+* :func:`simulate_kernel` — the historical keyword interface, kept as
+  a thin wrapper that builds a :class:`RunSpec` and calls
+  :func:`simulate`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
-from repro.cpu.kernels import Kernel, get_kernel
-from repro.cpu.streams import Alignment
+from repro.cpu.kernels import KERNELS, Kernel, get_kernel
+from repro.cpu.streams import Alignment, Direction, StreamSpec
 from repro.core.policies import POLICIES, SchedulingPolicy
 from repro.core.smc import build_smc_system
-from repro.memsys.config import MemorySystemConfig
+from repro.memsys.config import Interleaving, MemorySystemConfig, PagePolicy
 from repro.obs.core import Instrumentation
+from repro.rdram.channel import ChannelGeometry
+from repro.rdram.device import RdramGeometry
+from repro.rdram.timing import RdramTiming
 from repro.sim.engine import run_smc
 from repro.sim.results import SimulationResult
 
@@ -33,7 +46,7 @@ def resolve_config(
         return organization
     try:
         return ORGANIZATIONS[organization.lower()]()
-    except KeyError:
+    except (KeyError, AttributeError):
         raise ConfigurationError(
             f"unknown organization {organization!r}; "
             f"use one of {sorted(ORGANIZATIONS)} or pass a "
@@ -55,6 +68,274 @@ def resolve_policy(
         ) from None
 
 
+# -- config/kernel serialization helpers --------------------------------
+
+
+def _geometry_to_dict(geometry: Any) -> Dict[str, Any]:
+    if isinstance(geometry, ChannelGeometry):
+        return {
+            "kind": "channel",
+            "num_devices": geometry.num_devices,
+            "device": _geometry_to_dict(geometry.device),
+        }
+    if isinstance(geometry, RdramGeometry):
+        data = dataclasses.asdict(geometry)
+        data["kind"] = "device"
+        return data
+    raise ConfigurationError(
+        f"cannot serialize geometry of type {type(geometry).__name__}"
+    )
+
+
+def _geometry_from_dict(data: Mapping[str, Any]) -> Any:
+    kind = data.get("kind", "device")
+    if kind == "channel":
+        return ChannelGeometry(
+            num_devices=data["num_devices"],
+            device=_geometry_from_dict(data["device"]),
+        )
+    fields = {k: v for k, v in data.items() if k != "kind"}
+    return RdramGeometry(**fields)
+
+
+def _config_to_dict(config: MemorySystemConfig) -> Dict[str, Any]:
+    return {
+        "timing": dataclasses.asdict(config.timing),
+        "geometry": _geometry_to_dict(config.geometry),
+        "interleaving": config.interleaving.value,
+        "page_policy": config.page_policy.value,
+        "cacheline_bytes": config.cacheline_bytes,
+    }
+
+
+def _config_from_dict(data: Mapping[str, Any]) -> MemorySystemConfig:
+    return MemorySystemConfig(
+        timing=RdramTiming(**data["timing"]),
+        geometry=_geometry_from_dict(data["geometry"]),
+        interleaving=Interleaving(data["interleaving"]),
+        page_policy=PagePolicy(data["page_policy"]),
+        cacheline_bytes=data["cacheline_bytes"],
+    )
+
+
+def _kernel_to_dict(kernel: Kernel) -> Dict[str, Any]:
+    return {
+        "name": kernel.name,
+        "expression": kernel.expression,
+        "streams": [
+            {
+                "name": s.name,
+                "vector": s.vector,
+                "direction": s.direction.value,
+                "offset": s.offset,
+                "stride_factor": s.stride_factor,
+            }
+            for s in kernel.streams
+        ],
+    }
+
+
+def _kernel_from_dict(data: Mapping[str, Any]) -> Kernel:
+    return Kernel(
+        name=data["name"],
+        expression=data["expression"],
+        streams=tuple(
+            StreamSpec(
+                name=s["name"],
+                vector=s["vector"],
+                direction=Direction(s["direction"]),
+                offset=s["offset"],
+                stride_factor=s["stride_factor"],
+            )
+            for s in data["streams"]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one simulation's outcome.
+
+    A frozen record of the :func:`simulate_kernel` parameters.  On
+    construction, values are normalized to their canonical form where
+    one exists — a registered :class:`~repro.cpu.kernels.Kernel`
+    becomes its name, a config equal to the paper's CLI/PI design
+    point becomes ``"cli"``/``"pi"``, a registry policy instance
+    becomes its name — so that equal work hashes equally regardless of
+    how the caller spelled it.
+
+    Unregistered kernels (e.g. from :func:`~repro.compiler.compile_loop`)
+    and custom configs serialize structurally; only custom
+    :class:`~repro.core.policies.SchedulingPolicy` *instances* outside
+    the registry cannot be serialized (and therefore cannot be cached
+    or sent to worker processes — run them serially instead).
+
+    Note that runtime instrumentation (the ``obs`` argument of
+    :func:`simulate`) is deliberately *not* part of the spec: it does
+    not change the simulated outcome, only what is recorded about it.
+    """
+
+    kernel: Union[str, Kernel] = "daxpy"
+    organization: Union[str, MemorySystemConfig] = "cli"
+    length: int = 1024
+    fifo_depth: int = 64
+    stride: int = 1
+    alignment: str = "staggered"
+    policy: Union[str, SchedulingPolicy, None] = None
+    audit: bool = False
+    refresh: bool = False
+
+    def __post_init__(self) -> None:
+        kernel = self.kernel
+        if isinstance(kernel, Kernel) and KERNELS.get(kernel.name) == kernel:
+            object.__setattr__(self, "kernel", kernel.name)
+        organization = self.organization
+        if isinstance(organization, str):
+            if organization.lower() in ORGANIZATIONS:
+                object.__setattr__(self, "organization", organization.lower())
+        elif isinstance(organization, MemorySystemConfig):
+            for name, factory in ORGANIZATIONS.items():
+                if organization == factory():
+                    object.__setattr__(self, "organization", name)
+                    break
+        alignment = self.alignment
+        if isinstance(alignment, Alignment):
+            object.__setattr__(self, "alignment", alignment.value)
+        else:
+            # Validates the string; bad names raise ValueError exactly
+            # as the historical simulate_kernel signature did.
+            object.__setattr__(self, "alignment", Alignment(alignment.lower()).value)
+        policy = self.policy
+        if (
+            isinstance(policy, SchedulingPolicy)
+            and type(policy) is POLICIES.get(policy.name)
+        ):
+            object.__setattr__(self, "policy", policy.name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """This spec as a JSON-safe dict (inverse of :meth:`from_dict`).
+
+        Raises:
+            ConfigurationError: If the spec holds a custom policy
+                instance, which has no serializable form.
+        """
+        kernel: Any = self.kernel
+        if isinstance(kernel, Kernel):
+            kernel = _kernel_to_dict(kernel)
+        organization: Any = self.organization
+        if isinstance(organization, MemorySystemConfig):
+            organization = _config_to_dict(organization)
+        policy = self.policy
+        if isinstance(policy, SchedulingPolicy):
+            raise ConfigurationError(
+                f"policy instance {type(policy).__name__} (name "
+                f"{policy.name!r}) is not in the POLICIES registry and "
+                "cannot be serialized; register the class or pass the "
+                "policy by name"
+            )
+        return {
+            "kernel": kernel,
+            "organization": organization,
+            "length": self.length,
+            "fifo_depth": self.fifo_depth,
+            "stride": self.stride,
+            "alignment": self.alignment,
+            "policy": policy,
+            "audit": self.audit,
+            "refresh": self.refresh,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec from a :meth:`to_dict` dict."""
+        kernel = data["kernel"]
+        if isinstance(kernel, Mapping):
+            kernel = _kernel_from_dict(kernel)
+        organization = data["organization"]
+        if isinstance(organization, Mapping):
+            organization = _config_from_dict(organization)
+        names = {f.name for f in dataclasses.fields(cls)}
+        rest = {
+            k: v for k, v in data.items()
+            if k in names and k not in ("kernel", "organization")
+        }
+        return cls(kernel=kernel, organization=organization, **rest)
+
+    def canonical_key(self) -> str:
+        """A deterministic string identifying this simulation.
+
+        Two specs describing the same work — however their kernel,
+        organization, or policy was originally spelled — produce the
+        same key.  This is what the result cache hashes.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label (for progress lines and errors)."""
+        kernel = self.kernel.name if isinstance(self.kernel, Kernel) else self.kernel
+        org = (
+            self.organization
+            if isinstance(self.organization, str)
+            else self.organization.describe()
+        )
+        return (
+            f"{kernel}/{org} L={self.length} f={self.fifo_depth} "
+            f"stride={self.stride} {self.alignment}"
+            + (f" policy={self.policy}" if self.policy is not None else "")
+        )
+
+
+def simulate(
+    spec: RunSpec, obs: Optional[Instrumentation] = None
+) -> SimulationResult:
+    """Run the simulation a :class:`RunSpec` describes.
+
+    If a result cache is active (via
+    :func:`repro.exec.context.execution`) and holds this spec, the
+    stored result is returned without simulating; fresh results are
+    stored back.  Instrumented runs (``obs`` given) always simulate,
+    since a cached result carries no event record.
+
+    Args:
+        spec: The full run specification.
+        obs: Optional :class:`~repro.obs.core.Instrumentation` to
+            record counters, spans and DATA-bus gaps for this run.
+
+    Returns:
+        The simulation result, including percent-of-peak bandwidth.
+    """
+    cache = None
+    if obs is None:
+        from repro.exec.context import active_cache
+
+        cache = active_cache()
+        if cache is not None:
+            hit = cache.get(spec)
+            if hit is not None:
+                return hit
+    kernel_obj = (
+        get_kernel(spec.kernel) if isinstance(spec.kernel, str) else spec.kernel
+    )
+    config = resolve_config(spec.organization)
+    system = build_smc_system(
+        kernel_obj,
+        config,
+        length=spec.length,
+        fifo_depth=spec.fifo_depth,
+        stride=spec.stride,
+        alignment=Alignment(spec.alignment),
+        policy=resolve_policy(spec.policy),
+        record_trace=spec.audit,
+        refresh=spec.refresh,
+    )
+    result = run_smc(system, audit=spec.audit, obs=obs)
+    if cache is not None:
+        cache.put(spec, result)
+    return result
+
+
 def simulate_kernel(
     kernel: Union[str, Kernel],
     organization: Union[str, MemorySystemConfig] = "cli",
@@ -68,6 +349,9 @@ def simulate_kernel(
     obs: Optional[Instrumentation] = None,
 ) -> SimulationResult:
     """Simulate one streaming kernel on an SMC-equipped RDRAM system.
+
+    Keyword-style wrapper over :func:`simulate`; the parameters are
+    packed into a :class:`RunSpec` unchanged.
 
     Args:
         kernel: Kernel name (see :data:`repro.cpu.kernels.KERNELS`) or
@@ -97,19 +381,15 @@ def simulate_kernel(
         >>> 0 < result.percent_of_peak <= 100
         True
     """
-    kernel_obj = get_kernel(kernel) if isinstance(kernel, str) else kernel
-    config = resolve_config(organization)
-    if isinstance(alignment, str):
-        alignment = Alignment(alignment.lower())
-    system = build_smc_system(
-        kernel_obj,
-        config,
+    spec = RunSpec(
+        kernel=kernel,
+        organization=organization,
         length=length,
         fifo_depth=fifo_depth,
         stride=stride,
         alignment=alignment,
-        policy=resolve_policy(policy),
-        record_trace=audit,
+        policy=policy,
+        audit=audit,
         refresh=refresh,
     )
-    return run_smc(system, audit=audit, obs=obs)
+    return simulate(spec, obs=obs)

@@ -22,7 +22,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.results import SimulationResult
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate_kernel
 
 #: Axes simulate_kernel understands, in canonical order.
 AXES = (
@@ -89,29 +89,80 @@ class Sweep:
             point.update(dict(zip(names, combination)))
             yield point
 
+    def specs(self, **fixed: Any) -> List[RunSpec]:
+        """The grid as :class:`~repro.sim.runner.RunSpec` objects."""
+        return [RunSpec(**point, **fixed) for point in self.points()]
+
     def run(
         self,
         progress: Callable[[Dict[str, Any], SimulationResult], None] = None,
+        workers: Any = None,
+        cache: Any = None,
         **fixed: Any,
     ) -> List[SimulationResult]:
         """Run every grid point.
 
+        Serial in-process execution is the default; ``workers=N`` fans
+        the grid out over N worker processes and ``cache=`` (a
+        :class:`~repro.exec.cache.ResultCache` or directory path)
+        skips previously simulated points.  Both also fall back to any
+        ambient :func:`repro.exec.context.execution` context.  Results
+        are bit-identical across backends.
+
         Args:
-            progress: Optional callback invoked after each simulation
-                with (point, result).
-            **fixed: Extra keyword arguments passed to every
-                simulation (e.g. ``audit=True``).
+            progress: Optional callback invoked per completed point
+                with (point, result); under a pool, completion order
+                is nondeterministic.
+            workers: Process-pool size (None/0/1 = serial).
+            cache: Result cache or its directory path.
+            **fixed: Extra keyword arguments applied to every point
+                (e.g. ``audit=True``).
 
         Returns:
             Results in grid order.
         """
-        results = []
-        for point in self.points():
-            result = simulate_kernel(**point, **fixed)
-            if progress is not None:
-                progress(point, result)
-            results.append(result)
-        return results
+        if "obs" in fixed:
+            # Instrumentation cannot cross process boundaries or be
+            # replayed from a cache; keep the historical serial path.
+            if workers is not None and workers > 1:
+                raise ConfigurationError(
+                    "obs= instrumentation cannot be combined with "
+                    "workers=; run instrumented sweeps serially"
+                )
+            results = []
+            for point in self.points():
+                result = simulate_kernel(**point, **fixed)
+                if progress is not None:
+                    progress(point, result)
+                results.append(result)
+            return results
+
+        from repro.exec.pool import run_specs
+
+        points = list(self.points())
+        specs = [RunSpec(**point, **fixed) for point in points]
+        callback = None
+        if progress is not None:
+            callback = lambda event: progress(  # noqa: E731
+                points[event.index], event.result
+            )
+        return run_specs(
+            specs, workers=workers, cache=cache, progress=callback
+        )
+
+
+def sweep(
+    workers: Any = None,
+    cache: Any = None,
+    progress: Callable[[Dict[str, Any], SimulationResult], None] = None,
+    **axes: Any,
+) -> List[SimulationResult]:
+    """One-call cartesian sweep: ``sweep(kernel=["copy"], fifo_depth=[8, 64])``.
+
+    Builds a :class:`Sweep` from the axis keywords and runs it; see
+    :meth:`Sweep.run` for ``workers``/``cache``/``progress``.
+    """
+    return Sweep(**axes).run(progress=progress, workers=workers, cache=cache)
 
 
 def pivot(

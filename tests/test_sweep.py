@@ -5,7 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.sim.sweep import Sweep, pivot
+from repro.exec import ResultCache
+from repro.sim import runner
+from repro.sim.runner import RunSpec
+from repro.sim.sweep import Sweep, pivot, sweep
 
 
 class TestSweep:
@@ -46,6 +49,48 @@ class TestSweep:
             audit=True
         )
         assert len(results) == 1
+
+    def test_specs_mirror_points(self):
+        grid = Sweep(kernel="copy", length=64, fifo_depth=[8, 32])
+        specs = grid.specs(audit=True)
+        assert specs == [
+            RunSpec(**point, audit=True) for point in grid.points()
+        ]
+
+    def test_parallel_run_identical_to_serial(self):
+        grid = Sweep(kernel=["copy", "daxpy"], length=64, fifo_depth=[8, 16])
+        assert grid.run(workers=2) == grid.run()
+
+    def test_cached_rerun_skips_the_engine(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path, salt="v1")
+        grid = Sweep(kernel="copy", length=64, fifo_depth=[8, 16])
+        first = grid.run(cache=cache)
+        monkeypatch.setattr(
+            runner, "run_smc",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("simulated")),
+        )
+        assert grid.run(cache=cache) == first
+
+    def test_obs_cannot_be_pooled(self):
+        from repro.obs import Instrumentation
+
+        with pytest.raises(ConfigurationError, match="obs="):
+            Sweep(kernel="copy", length=64, fifo_depth=8).run(
+                workers=2, obs=Instrumentation()
+            )
+
+    def test_obs_still_supported_serially(self):
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation()
+        results = Sweep(kernel="copy", length=64, fifo_depth=8).run(obs=obs)
+        assert len(results) == 1
+
+
+class TestSweepFunction:
+    def test_one_call_sweep(self):
+        results = sweep(kernel="copy", length=64, fifo_depth=[8, 16])
+        assert [r.fifo_depth for r in results] == [8, 16]
 
 
 class TestPivot:
