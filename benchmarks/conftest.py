@@ -13,7 +13,6 @@ Run with::
 
 from __future__ import annotations
 
-import pytest
 
 
 def run_once(benchmark, func, *args, **kwargs):

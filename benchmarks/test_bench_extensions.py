@@ -9,7 +9,6 @@ figures but follow directly from its text: channel scaling (the Crisp
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.channel import run as run_channel
 from repro.experiments.doublebank import run as run_doublebank

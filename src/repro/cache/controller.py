@@ -27,7 +27,7 @@ from repro.cpu.streams import (
     StreamDescriptor,
     place_streams,
 )
-from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig, PagePolicy
+from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig
 from repro.naturalorder.controller import MAX_OUTSTANDING, NaturalOrderController
 from repro.sim.results import SimulationResult
 
@@ -95,8 +95,6 @@ class CachedNaturalOrderController(NaturalOrderController):
                 stride=stride,
                 alignment=alignment,
             )
-        closed_page = self.config.page_policy is PagePolicy.CLOSED
-
         line_first_data: Dict[str, int] = {d.name: 0 for d in descriptors}
         outstanding: Deque[int] = deque()
         program_clock = 0
@@ -110,10 +108,10 @@ class CachedNaturalOrderController(NaturalOrderController):
             nonlocal transactions, conflicts
             if len(outstanding) >= MAX_OUTSTANDING:
                 start_at = max(start_at, outstanding.popleft())
-            issued = self._issue_line(
-                line_address, direction, start_at, closed_page
+            (first_cmd, first_arrival, data_end,
+             had_conflict, _hits, _misses) = self._issue_line(
+                line_address, direction, start_at
             )
-            first_cmd, first_arrival, data_end, had_conflict = issued
             transactions += 1
             conflicts += int(had_conflict)
             program_clock = max(program_clock, first_cmd)

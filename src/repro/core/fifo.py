@@ -16,12 +16,13 @@ RDRAM's bandwidth (Section 6, Figure 9).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.errors import SchedulingError, StreamError
 from repro.cpu.streams import Direction, StreamDescriptor
-from repro.memsys.address import AddressMap, Location
+from repro.memsys.address import AddressMapping, Location
 from repro.memsys.config import PagePolicy
+from repro.memsys.pagemanager import PageManager, as_page_manager
 from repro.obs.core import Instrumentation
 from repro.rdram.timing import DATA_PACKET_BYTES
 
@@ -46,19 +47,22 @@ class AccessUnit:
 
 def build_access_units(
     descriptor: StreamDescriptor,
-    address_map: AddressMap,
-    page_policy: PagePolicy,
+    address_map: AddressMapping,
+    page_manager: Union[PageManager, PagePolicy, str],
 ) -> List[AccessUnit]:
     """Compute the ordered DATA-packet plan for one stream.
 
     Consecutive elements landing in the same packet are merged into a
-    single unit.  Under a closed-page policy the last unit of every
-    consecutive (bank, row) run is flagged to carry a precharge.
+    single unit, then the page manager's plan-time hook rewrites the
+    plan — the closed-page policy plants its precharge flags here.
 
     Args:
         descriptor: The placed stream.
-        address_map: CLI or PI address decomposition.
-        page_policy: Decides whether precharge flags are planted.
+        address_map: A registered address decomposition.
+        page_manager: The page-management strategy (a
+            :class:`~repro.memsys.pagemanager.PageManager`, or a
+            :class:`~repro.memsys.config.PagePolicy` / registry name
+            for historical callers).
 
     Returns:
         Units in stream-element order.
@@ -77,31 +81,7 @@ def build_access_units(
         else:
             units.append(AccessUnit(location=location, elements=1))
             last_location = location
-    if page_policy is PagePolicy.CLOSED:
-        units = _plant_precharge_flags(units)
-    return units
-
-
-def _plant_precharge_flags(units: List[AccessUnit]) -> List[AccessUnit]:
-    """Flag the last unit of each same-(bank, row) run for precharge."""
-    flagged: List[AccessUnit] = []
-    for index, unit in enumerate(units):
-        is_last_of_run = (
-            index + 1 == len(units)
-            or (
-                units[index + 1].location.bank,
-                units[index + 1].location.row,
-            )
-            != (unit.location.bank, unit.location.row)
-        )
-        flagged.append(
-            AccessUnit(
-                location=unit.location,
-                elements=unit.elements,
-                precharge_after=is_last_of_run,
-            )
-        )
-    return flagged
+    return as_page_manager(page_manager).plan(units)
 
 
 class StreamFifo:

@@ -31,8 +31,9 @@ from repro.cache.model import CacheConfig, CacheModel
 from repro.cpu.kernels import Kernel
 from repro.cpu.processor import MATCHED_ACCESS_INTERVAL
 from repro.cpu.streams import Alignment, Direction, place_streams
-from repro.memsys.address import AddressMap
-from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig, PagePolicy
+from repro.memsys.address import get_address_mapping
+from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig
+from repro.memsys.pagemanager import make_page_manager
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
 from repro.sim.results import SimulationResult
@@ -85,12 +86,14 @@ class L2StreamingController:
                 "L2 line size must match the memory system cacheline"
             )
         self.prefetch_window = prefetch_window
+        self.page_manager = make_page_manager(config)
         self.device = make_memory(
             timing=config.timing,
             geometry=config.geometry,
             record_trace=record_trace,
+            page_manager=self.page_manager,
         )
-        self.address_map = AddressMap(config)
+        self.address_map = get_address_mapping(config)
         self.l2: Optional[CacheModel] = None
         self.refetches = 0
         self.writebacks_streamed = 0
@@ -146,7 +149,6 @@ class L2StreamingController:
                 )
             )
 
-        closed_page = self.config.page_policy is PagePolicy.CLOSED
         inflight: Dict[int, int] = {}  # line address -> arrival cycle
         present: Set[int] = set()      # lines resident in L2
         pending_writebacks: List[int] = []
@@ -179,25 +181,18 @@ class L2StreamingController:
                 location = self.address_map.decompose(
                     line_address + offset * 16
                 )
-                bank = self.device.bank(location.bank)
-                if bank.open_row != location.row:
-                    if bank.is_open:
-                        self.device.issue_prer(location.bank, cycle)
-                    for neighbor in self.config.geometry.neighbors(
-                        location.bank
-                    ):
-                        if self.device.bank(neighbor).is_open:
-                            self.device.issue_prer(neighbor, cycle)
-                    self.device.issue_act(location.bank, location.row, cycle)
-                access = self.device.issue_col(
+                outcome = self.device.issue_access(
                     location.bank,
                     location.row,
                     location.column,
                     cycle,
                     bus_dir,
-                    precharge=closed_page and offset == packets - 1,
+                    precharge=(
+                        self.page_manager.plans_precharge
+                        and offset == packets - 1
+                    ),
                 )
-                data_end = access.data.end
+                data_end = outcome.access.data.end
             transactions += 1
             last_data_end = max(last_data_end, data_end)
             return data_end

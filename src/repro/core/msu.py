@@ -69,6 +69,8 @@ class MemorySchedulingUnit:
         self.bank_conflicts = 0
         self.speculative_activations = 0
         self.fifo_switches = 0
+        self.page_hits = 0
+        self.page_misses = 0
         self.last_data_end = 0
         #: Optional instrumentation; records access spans, idle spans
         #: (with their cause), and scheduling counters.
@@ -137,22 +139,10 @@ class MemorySchedulingUnit:
         fifo = self.sbu[choice]
         unit = fifo.next_unit()
         location = unit.location
-        bank = self.device.bank(location.bank)
-        conflicts_before = self.bank_conflicts
-        if bank.open_row != location.row:
-            if bank.is_open:
-                self.bank_conflicts += 1
-                self.device.issue_prer(location.bank, cycle)
-            for neighbor in self.device.geometry.neighbors(location.bank):
-                # Double-bank cores: an adjacent open bank shares the
-                # sense amps and must be precharged first.
-                if self.device.bank(neighbor).is_open:
-                    self.bank_conflicts += 1
-                    self.device.issue_prer(neighbor, cycle)
-            self.device.issue_act(location.bank, location.row, cycle)
-            self.activations += 1
         direction = BusDirection.READ if fifo.is_read else BusDirection.WRITE
-        access = self.device.issue_col(
+        # The open/conflict/precharge decision lives in the device's
+        # access path (perform_access), shared with every controller.
+        outcome = self.device.issue_access(
             location.bank,
             location.row,
             location.column,
@@ -160,12 +150,19 @@ class MemorySchedulingUnit:
             direction,
             precharge=unit.precharge_after,
         )
+        access = outcome.access
+        self.bank_conflicts += outcome.conflicts
+        if outcome.activated:
+            self.activations += 1
+        if outcome.page_hit:
+            self.page_hits += 1
+        else:
+            self.page_misses += 1
         if self.obs is not None:
             self.obs.counters.incr("msu.decisions")
-            if self.bank_conflicts > conflicts_before:
+            if outcome.conflicts:
                 self.obs.counters.incr(
-                    "msu.bank_conflicts",
-                    self.bank_conflicts - conflicts_before,
+                    "msu.bank_conflicts", outcome.conflicts
                 )
             self.obs.tracer.add_span(
                 "msu",

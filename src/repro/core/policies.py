@@ -97,6 +97,9 @@ class SchedulingPolicy:
         holding a different open row is never "ready" — it needs a
         precharge/activate pair first.
         """
+        # A runtime page manager may owe this bank a precharge;
+        # materialize it before reading the open-row state.
+        device.sync_bank(unit.location.bank, cycle)
         bank = device.bank(unit.location.bank)
         if bank.open_row == unit.location.row:
             return bank.earliest_col(cycle, unit.location.row) <= cycle + slack
@@ -160,6 +163,7 @@ class BankAwarePolicy(SchedulingPolicy):
         """Earliest cycle the FIFO's next COL could plausibly issue."""
         timing = device.timing
         location = fifo.next_unit().location
+        device.sync_bank(location.bank, cycle)
         bank = device.bank(location.bank)
         if bank.open_row == location.row:
             return bank.earliest_col(cycle, location.row)
@@ -222,6 +226,7 @@ class SpeculativePrechargePolicy(RoundRobinPolicy):
             target = (upcoming.bank, upcoming.row)
             if target == here:
                 continue
+            msu.device.sync_bank(upcoming.bank, cycle)
             bank = msu.device.bank(upcoming.bank)
             if bank.open_row == upcoming.row:
                 return

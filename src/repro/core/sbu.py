@@ -18,8 +18,9 @@ from typing import Iterator, List, Optional, Sequence
 from repro.errors import StreamError
 from repro.cpu.streams import StreamDescriptor
 from repro.core.fifo import StreamFifo, build_access_units
-from repro.memsys.address import AddressMap
+from repro.memsys.address import get_address_mapping
 from repro.memsys.config import MemorySystemConfig
+from repro.memsys.pagemanager import PageManager, make_page_manager
 from repro.obs.core import Instrumentation
 
 
@@ -45,16 +46,25 @@ class StreamBufferUnit:
         descriptors: Sequence[StreamDescriptor],
         config: MemorySystemConfig,
         fifo_depth: int,
+        page_manager: Optional[PageManager] = None,
     ) -> "StreamBufferUnit":
-        """Build FIFOs and access plans for placed streams."""
-        address_map = AddressMap(config)
+        """Build FIFOs and access plans for placed streams.
+
+        ``page_manager`` lets the caller share one manager instance
+        between the access plans and the memory model (as
+        :func:`~repro.core.smc.build_smc_system` does); by default a
+        fresh manager is made from the config's registry name.
+        """
+        address_map = get_address_mapping(config)
+        manager = (
+            page_manager if page_manager is not None
+            else make_page_manager(config)
+        )
         fifos = [
             StreamFifo(
                 descriptor=descriptor,
                 depth=fifo_depth,
-                units=build_access_units(
-                    descriptor, address_map, config.page_policy
-                ),
+                units=build_access_units(descriptor, address_map, manager),
             )
             for descriptor in descriptors
         ]

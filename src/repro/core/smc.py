@@ -17,6 +17,7 @@ from repro.core.msu import MemorySchedulingUnit
 from repro.core.policies import RoundRobinPolicy, SchedulingPolicy
 from repro.core.sbu import StreamBufferUnit
 from repro.memsys.config import MemorySystemConfig
+from repro.memsys.pagemanager import make_page_manager
 from repro.rdram.channel import make_memory
 from repro.rdram.device import RdramDevice
 from repro.rdram.refresh import RefreshEngine
@@ -93,10 +94,16 @@ def build_smc_system(
         )
     else:
         placed = list(descriptors)
+    page_manager = make_page_manager(config)
     device = make_memory(
-        timing=config.timing, geometry=config.geometry, record_trace=record_trace
+        timing=config.timing,
+        geometry=config.geometry,
+        record_trace=record_trace,
+        page_manager=page_manager,
     )
-    sbu = StreamBufferUnit.from_descriptors(placed, config, fifo_depth)
+    sbu = StreamBufferUnit.from_descriptors(
+        placed, config, fifo_depth, page_manager=page_manager
+    )
     msu = MemorySchedulingUnit(device, sbu, policy or RoundRobinPolicy())
     processor = StreamProcessor(kernel, length, access_interval=access_interval)
     return SmcSystem(

@@ -96,13 +96,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="list the registered experiments and exit",
     )
+    parser.add_argument(
+        "--list-policies",
+        action="store_true",
+        help="list registered address mappings, page policies, and MSU "
+             "scheduling policies, then exit",
+    )
+    parser.add_argument(
+        "--interleaving",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the policy_matrix sweep to this registered "
+             "address mapping (repeatable)",
+    )
+    parser.add_argument(
+        "--page-policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the policy_matrix sweep to this registered "
+             "page-management policy (repeatable)",
+    )
     args = parser.parse_args(argv)
+    if args.list_policies:
+        from repro.sim.cli import list_policies
+
+        sys.stdout.write(list_policies() + "\n")
+        return 0
     if args.list:
         for name in list_experiments():
             sys.stdout.write(
-                f"{name:12s} {get_experiment(name).description}\n"
+                f"{name:14s} {get_experiment(name).description}\n"
             )
         return 0
+    if args.interleaving or args.page_policy:
+        from repro.experiments import policy_matrix
+        from repro.sim.runner import (
+            _canonical_mapping_name,
+            _canonical_policy_name,
+        )
+
+        try:
+            policy_matrix.configure(
+                mappings=(
+                    [_canonical_mapping_name(n) for n in args.interleaving]
+                    if args.interleaving else None
+                ),
+                page_policies=(
+                    [_canonical_policy_name(n) for n in args.page_policy]
+                    if args.page_policy else None
+                ),
+            )
+        except ConfigurationError as error:
+            raise SystemExit(str(error)) from None
     started = time.time()
     with execution(workers=args.workers, cache=args.cache):
         results = collect(args.experiments or EXPERIMENTS)

@@ -28,6 +28,7 @@ from repro.experiments import (
     fpm_heritage,
     headline,
     l2_tradeoff,
+    policy_matrix,
     refresh_ablation,
     tables,
     timelines,
@@ -166,3 +167,13 @@ def _l2() -> Tables:
 @register("fpm", "Fast-page-mode heritage comparison")
 def _fpm() -> Tables:
     return [("fpm", fpm_heritage.run())]
+
+
+@register("policy_matrix", "Address mapping x page policy cross product")
+def _policy_matrix() -> Tables:
+    return [
+        (f"policy_matrix_{name}", table)
+        for name, table in zip(
+            ("smc", "natural"), policy_matrix.run()
+        )
+    ]

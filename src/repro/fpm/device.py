@@ -17,7 +17,7 @@ nanoseconds — FPM parts are asynchronous.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ConfigurationError

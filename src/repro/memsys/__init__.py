@@ -1,6 +1,14 @@
 """Memory-system organization: configuration, interleaving, policies."""
 
-from repro.memsys.address import AddressMap, Location
+from repro.memsys.address import (
+    AddressMap,
+    AddressMapping,
+    Location,
+    MAPPINGS,
+    get_address_mapping,
+    list_mappings,
+    register_mapping,
+)
 from repro.memsys.config import (
     ELEMENT_BYTES,
     ELEMENTS_PER_PACKET,
@@ -8,13 +16,32 @@ from repro.memsys.config import (
     MemorySystemConfig,
     PagePolicy,
 )
+from repro.memsys.pagemanager import (
+    PAGE_POLICIES,
+    PageManager,
+    as_page_manager,
+    list_page_policies,
+    make_page_manager,
+    register_page_policy,
+)
 
 __all__ = [
     "AddressMap",
+    "AddressMapping",
     "Location",
+    "MAPPINGS",
+    "get_address_mapping",
+    "list_mappings",
+    "register_mapping",
     "ELEMENT_BYTES",
     "ELEMENTS_PER_PACKET",
     "Interleaving",
     "MemorySystemConfig",
     "PagePolicy",
+    "PAGE_POLICIES",
+    "PageManager",
+    "as_page_manager",
+    "list_page_policies",
+    "make_page_manager",
+    "register_page_policy",
 ]

@@ -1,28 +1,39 @@
-"""Address decomposition for the two interleaving schemes.
+"""Address decomposition strategies (the address-mapping registry).
 
 A physical byte address is decomposed into a device location: (bank,
 row, column), where *column* counts DATA packets within the open row.
-The two maps implement the paper's organizations:
+Each decomposition is a registered, named strategy — a subclass of
+:class:`AddressMapping` — and configurations select one by registry
+name through the ``interleaving`` field.  Built-in mappings:
 
-* **Cacheline interleaving (CLI)** — successive cachelines map to
+* **cli** — cacheline interleaving: successive cachelines map to
   successive banks, so a unit-stride stream cycles through all banks
   and a bank holds every eighth line of the stream.
-* **Page interleaving (PI)** — a whole RDRAM page maps to one bank;
+* **pi** — page interleaving: a whole RDRAM page maps to one bank;
   successive pages map to successive banks, so a unit-stride stream
   stays in one bank for a full page and crossing a page boundary means
   switching banks.
+* **swizzle** — page interleaving with the bank XOR-permuted by the
+  row, so vertically aligned pages of different vectors (the aligned
+  placement the paper identifies as pathological) spread across banks
+  instead of all colliding in one.
 
-Both maps are exact bijections between byte addresses and
+Every mapping is an exact bijection between byte addresses and
 (bank, row, column, byte-offset) tuples; the property-based tests
-exercise round-tripping.
+round-trip all registered mappings over random geometries.  To add a
+mapping, subclass :class:`AddressMapping`, implement
+``_decompose``/``_compose``, and decorate with
+:func:`register_mapping` — consumers pick it up by name with no
+further wiring (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Type
 
 from repro.errors import ConfigurationError
-from repro.memsys.config import Interleaving, MemorySystemConfig
+from repro.memsys.config import MemorySystemConfig
 from repro.rdram.timing import DATA_PACKET_BYTES
 
 
@@ -41,13 +52,21 @@ class Location:
     column: int
 
 
-class AddressMap:
-    """Bidirectional byte-address <-> device-location map.
+class AddressMapping:
+    """Base class: bidirectional byte-address <-> device-location map.
+
+    Subclasses implement :meth:`_decompose` and :meth:`_compose` on
+    pre-validated values; range checks and the doubled-bank even/odd
+    permutation live here so every registered mapping shares them.
 
     Args:
-        config: The memory-system configuration; the interleaving
-            field selects the CLI or PI map.
+        config: The memory-system configuration (geometry and line
+            size; the ``interleaving`` field is what *selected* this
+            mapping but is not re-read here).
     """
+
+    #: Registry name; also the ``interleaving`` spelling selecting it.
+    name = "base"
 
     def __init__(self, config: MemorySystemConfig) -> None:
         self.config = config
@@ -91,20 +110,7 @@ class AddressMap:
                 f"address {address:#x} outside device capacity "
                 f"{self._capacity:#x}"
             )
-        if self.config.interleaving is Interleaving.CACHELINE:
-            line = address // self._line_bytes
-            bank = self._bank_order[line % self._num_banks]
-            line_in_bank = line // self._num_banks
-            row = line_in_bank // self._lines_per_page
-            line_in_row = line_in_bank % self._lines_per_page
-            packet_in_line = (address % self._line_bytes) // DATA_PACKET_BYTES
-            column = line_in_row * self._packets_per_line + packet_in_line
-        else:
-            page = address // self._page_bytes
-            bank = self._bank_order[page % self._num_banks]
-            row = page // self._num_banks
-            column = (address % self._page_bytes) // DATA_PACKET_BYTES
-        return Location(bank=bank, row=row, column=column)
+        return self._decompose(address)
 
     def compose(self, location: Location, byte_offset: int = 0) -> int:
         """Map a device location (plus a byte offset within its DATA
@@ -121,17 +127,117 @@ class AddressMap:
             raise ConfigurationError(f"column {location.column} out of range")
         if not 0 <= byte_offset < DATA_PACKET_BYTES:
             raise ConfigurationError(f"byte offset {byte_offset} out of range")
+        return self._compose(location, byte_offset)
+
+    def bank_of(self, address: int) -> int:
+        """Bank holding ``address`` (convenience for placement logic)."""
+        return self.decompose(address).bank
+
+    # -- strategy hooks -------------------------------------------------
+
+    def _decompose(self, address: int) -> Location:
+        raise NotImplementedError
+
+    def _compose(self, location: Location, byte_offset: int) -> int:
+        raise NotImplementedError
+
+
+#: Registry of mapping strategies by name.
+MAPPINGS: Dict[str, Type[AddressMapping]] = {}
+
+
+def register_mapping(cls: Type[AddressMapping]) -> Type[AddressMapping]:
+    """Class decorator adding a mapping to the registry by its name."""
+    if not cls.name or cls.name == AddressMapping.name:
+        raise ConfigurationError(
+            f"mapping class {cls.__name__} needs a non-default name"
+        )
+    if cls.name in MAPPINGS:
+        raise ConfigurationError(
+            f"address mapping {cls.name!r} registered twice"
+        )
+    MAPPINGS[cls.name] = cls
+    return cls
+
+
+def list_mappings() -> List[str]:
+    """Registered mapping names, sorted."""
+    return sorted(MAPPINGS)
+
+
+def get_address_mapping(config: MemorySystemConfig) -> AddressMapping:
+    """Instantiate the mapping the configuration names.
+
+    Raises:
+        ConfigurationError: If no mapping is registered under the
+            configuration's ``interleaving`` name (the message lists
+            the registered names).
+    """
+    name = config.interleaving_name
+    try:
+        cls = MAPPINGS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown address mapping {name!r}; registered mappings: "
+            f"{', '.join(list_mappings())}"
+        ) from None
+    return cls(config)
+
+
+def AddressMap(config: MemorySystemConfig) -> AddressMapping:
+    """Back-compat factory: the mapping selected by ``config``.
+
+    Historical callers constructed ``AddressMap(config)`` directly;
+    the class has become the :class:`AddressMapping` strategy registry
+    and this factory keeps the old spelling working.
+    """
+    return get_address_mapping(config)
+
+
+@register_mapping
+class CachelineInterleaving(AddressMapping):
+    """The paper's CLI map: successive cachelines in successive banks."""
+
+    name = "cli"
+
+    def _decompose(self, address: int) -> Location:
+        line = address // self._line_bytes
+        bank = self._bank_order[line % self._num_banks]
+        line_in_bank = line // self._num_banks
+        row = line_in_bank // self._lines_per_page
+        line_in_row = line_in_bank % self._lines_per_page
+        packet_in_line = (address % self._line_bytes) // DATA_PACKET_BYTES
+        column = line_in_row * self._packets_per_line + packet_in_line
+        return Location(bank=bank, row=row, column=column)
+
+    def _compose(self, location: Location, byte_offset: int) -> int:
         rank = self._bank_rank[location.bank]
-        if self.config.interleaving is Interleaving.CACHELINE:
-            line_in_row = location.column // self._packets_per_line
-            packet_in_line = location.column % self._packets_per_line
-            line_in_bank = location.row * self._lines_per_page + line_in_row
-            line = line_in_bank * self._num_banks + rank
-            return (
-                line * self._line_bytes
-                + packet_in_line * DATA_PACKET_BYTES
-                + byte_offset
-            )
+        line_in_row = location.column // self._packets_per_line
+        packet_in_line = location.column % self._packets_per_line
+        line_in_bank = location.row * self._lines_per_page + line_in_row
+        line = line_in_bank * self._num_banks + rank
+        return (
+            line * self._line_bytes
+            + packet_in_line * DATA_PACKET_BYTES
+            + byte_offset
+        )
+
+
+@register_mapping
+class PageInterleaving(AddressMapping):
+    """The paper's PI map: successive pages in successive banks."""
+
+    name = "pi"
+
+    def _decompose(self, address: int) -> Location:
+        page = address // self._page_bytes
+        bank = self._bank_order[page % self._num_banks]
+        row = page // self._num_banks
+        column = (address % self._page_bytes) // DATA_PACKET_BYTES
+        return Location(bank=bank, row=row, column=column)
+
+    def _compose(self, location: Location, byte_offset: int) -> int:
+        rank = self._bank_rank[location.bank]
         page = location.row * self._num_banks + rank
         return (
             page * self._page_bytes
@@ -139,6 +245,47 @@ class AddressMap:
             + byte_offset
         )
 
-    def bank_of(self, address: int) -> int:
-        """Bank holding ``address`` (convenience for placement logic)."""
-        return self.decompose(address).bank
+
+@register_mapping
+class SwizzleInterleaving(AddressMapping):
+    """Page interleaving with a row-dependent bank permutation.
+
+    Like PI, address bits split into (page, offset) and the page into
+    (row, rank); but the rank is then permuted by the row before the
+    doubled-bank ordering is applied.  With a power-of-two bank count
+    the permutation is the XOR ``rank ^ (row % num_banks)`` (its own
+    inverse); otherwise the additive rotation
+    ``(rank + row) % num_banks`` is used.  Either way each row sees a
+    distinct bank permutation, so vectors whose bases are exactly a
+    bank-stripe apart — which under PI would hammer a single bank —
+    spread across all banks.
+    """
+
+    name = "swizzle"
+
+    def _twist(self, rank: int, row: int) -> int:
+        if self._num_banks & (self._num_banks - 1) == 0:
+            return rank ^ (row % self._num_banks)
+        return (rank + row) % self._num_banks
+
+    def _untwist(self, rank: int, row: int) -> int:
+        if self._num_banks & (self._num_banks - 1) == 0:
+            return rank ^ (row % self._num_banks)
+        return (rank - row) % self._num_banks
+
+    def _decompose(self, address: int) -> Location:
+        page = address // self._page_bytes
+        row = page // self._num_banks
+        rank = self._twist(page % self._num_banks, row)
+        bank = self._bank_order[rank]
+        column = (address % self._page_bytes) // DATA_PACKET_BYTES
+        return Location(bank=bank, row=row, column=column)
+
+    def _compose(self, location: Location, byte_offset: int) -> int:
+        rank = self._untwist(self._bank_rank[location.bank], location.row)
+        page = location.row * self._num_banks + rank
+        return (
+            page * self._page_bytes
+            + location.column * DATA_PACKET_BYTES
+            + byte_offset
+        )

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Union
+
 from repro.errors import ConfigurationError
 from repro.rdram.device import RdramGeometry
 from repro.rdram.timing import DATA_PACKET_BYTES, RdramTiming
@@ -30,10 +32,20 @@ class Interleaving(enum.Enum):
     CACHELINE (the paper's CLI): successive cachelines reside in
     different banks.  PAGE (the paper's PI): a whole RDRAM page maps to
     one bank, so crossing a page boundary means switching banks.
+    SWIZZLE: page-granular like PI, but the bank is XOR-permuted with
+    the row so vertically aligned pages of different vectors spread
+    across banks instead of colliding (a DReAM-style remap ablation).
+
+    Each value is the registry name of an
+    :class:`~repro.memsys.address.AddressMapping` strategy; strings
+    are accepted anywhere an ``Interleaving`` is, so out-of-tree
+    mappings registered under new names work without extending this
+    enum.
     """
 
     CACHELINE = "cli"
     PAGE = "pi"
+    SWIZZLE = "swizzle"
 
 
 class PagePolicy(enum.Enum):
@@ -42,10 +54,20 @@ class PagePolicy(enum.Enum):
     CLOSED precharges after every access burst — best when successive
     accesses go to different pages.  OPEN leaves the sense amps
     unprecharged — best when successive accesses hit the same page.
+    TIMEOUT auto-precharges a bank left idle for
+    ``page_timeout_cycles``.  HYBRID predicts open-vs-closed per row
+    with saturating counters (HAPPY-style).
+
+    Each value is the registry name of a
+    :class:`~repro.memsys.pagemanager.PageManager` strategy; strings
+    are accepted anywhere a ``PagePolicy`` is, so out-of-tree policies
+    registered under new names work without extending this enum.
     """
 
     CLOSED = "closed"
     OPEN = "open"
+    TIMEOUT = "timeout"
+    HYBRID = "hybrid"
 
 
 @dataclass(frozen=True)
@@ -59,18 +81,44 @@ class MemorySystemConfig:
     Attributes:
         timing: Direct RDRAM timing parameters.
         geometry: Device geometry (banks, page size, rows).
-        interleaving: Bank interleaving scheme.
-        page_policy: Sense-amp management policy.
+        interleaving: Address-mapping registry name (an
+            :class:`Interleaving` member or a bare string naming a
+            registered mapping).
+        page_policy: Page-manager registry name (a :class:`PagePolicy`
+            member or a bare string naming a registered policy).
         cacheline_bytes: Cacheline size used by natural-order accesses.
+        page_timeout_cycles: Idle cycles before the ``timeout`` page
+            policy auto-precharges an open bank (ignored by the other
+            policies).
     """
 
     timing: RdramTiming = field(default_factory=RdramTiming)
     geometry: RdramGeometry = field(default_factory=RdramGeometry)
-    interleaving: Interleaving = Interleaving.CACHELINE
-    page_policy: PagePolicy = PagePolicy.CLOSED
+    interleaving: Union[Interleaving, str] = Interleaving.CACHELINE
+    page_policy: Union[PagePolicy, str] = PagePolicy.CLOSED
     cacheline_bytes: int = 32
+    page_timeout_cycles: int = 64
 
     def __post_init__(self) -> None:
+        # Normalize known string spellings to the enum members so
+        # ``config.interleaving is Interleaving.CACHELINE`` keeps
+        # working however the caller spelled it; unknown names are kept
+        # verbatim for out-of-tree registry plugins.
+        try:
+            object.__setattr__(
+                self, "interleaving", Interleaving(self.interleaving)
+            )
+        except ValueError:
+            pass
+        try:
+            object.__setattr__(self, "page_policy", PagePolicy(self.page_policy))
+        except ValueError:
+            pass
+        if self.page_timeout_cycles <= 0:
+            raise ConfigurationError(
+                "page_timeout_cycles must be positive, got "
+                f"{self.page_timeout_cycles}"
+            )
         if self.cacheline_bytes % DATA_PACKET_BYTES:
             raise ConfigurationError(
                 "cacheline size must be an integer multiple of the DATA "
@@ -97,6 +145,22 @@ class MemorySystemConfig:
         overrides.setdefault("page_policy", PagePolicy.OPEN)
         return cls(**overrides)
 
+    # -- registry names -------------------------------------------------
+
+    @property
+    def interleaving_name(self) -> str:
+        """Registry name of the address mapping ("cli", "pi", ...)."""
+        if isinstance(self.interleaving, Interleaving):
+            return self.interleaving.value
+        return str(self.interleaving)
+
+    @property
+    def page_policy_name(self) -> str:
+        """Registry name of the page manager ("closed", "open", ...)."""
+        if isinstance(self.page_policy, PagePolicy):
+            return self.page_policy.value
+        return str(self.page_policy)
+
     # -- derived quantities the paper's equations use -------------------
 
     @property
@@ -122,7 +186,7 @@ class MemorySystemConfig:
     def describe(self) -> str:
         """One-line human-readable summary of the organization."""
         return (
-            f"{self.interleaving.value.upper()} / {self.page_policy.value}-page, "
+            f"{self.interleaving_name.upper()} / {self.page_policy_name}-page, "
             f"{self.geometry.num_banks} banks, "
             f"{self.geometry.page_bytes} B pages, "
             f"{self.cacheline_bytes} B lines"

@@ -35,8 +35,9 @@ from repro.cpu.streams import (
     StreamDescriptor,
     place_streams,
 )
-from repro.memsys.address import AddressMap
-from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig, PagePolicy
+from repro.memsys.address import get_address_mapping
+from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig
+from repro.memsys.pagemanager import make_page_manager
 from repro.obs.core import Instrumentation
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
@@ -61,12 +62,14 @@ class NaturalOrderController:
         self, config: MemorySystemConfig, record_trace: bool = False
     ) -> None:
         self.config = config
+        self.page_manager = make_page_manager(config)
         self.device = make_memory(
             timing=config.timing,
             geometry=config.geometry,
             record_trace=record_trace,
+            page_manager=self.page_manager,
         )
-        self.address_map = AddressMap(config)
+        self.address_map = get_address_mapping(config)
 
     def run(
         self,
@@ -105,7 +108,6 @@ class NaturalOrderController:
                 alignment=alignment,
             )
         line_bytes = self.config.cacheline_bytes
-        closed_page = self.config.page_policy is PagePolicy.CLOSED
 
         current_line: Dict[str, Optional[int]] = {
             d.name: None for d in descriptors
@@ -119,6 +121,8 @@ class NaturalOrderController:
         first_data: Optional[int] = None
         transactions = 0
         conflicts = 0
+        page_hits = 0
+        page_misses = 0
 
         for index in range(length):
             for descriptor in descriptors:
@@ -140,13 +144,14 @@ class NaturalOrderController:
                     start_at = max(start_at, dependence)
                 if len(outstanding) >= MAX_OUTSTANDING:
                     start_at = max(start_at, outstanding.popleft())
-                issued = self._issue_line(
-                    line * line_bytes, descriptor.direction, start_at,
-                    closed_page,
+                (first_cmd, first_arrival, data_end, had_conflict,
+                 hits, misses) = self._issue_line(
+                    line * line_bytes, descriptor.direction, start_at
                 )
-                first_cmd, first_arrival, data_end, had_conflict = issued
                 transactions += 1
                 conflicts += int(had_conflict)
+                page_hits += hits
+                page_misses += misses
                 if obs is not None:
                     obs.counters.incr("controller.transactions")
                     if had_conflict:
@@ -194,6 +199,8 @@ class NaturalOrderController:
             startup_cycles=first_data or 0,
             packets_issued=transactions * self.config.packets_per_cacheline,
             bank_conflicts=conflicts,
+            page_hits=page_hits,
+            page_misses=page_misses,
         )
 
     def _issue_line(
@@ -201,13 +208,19 @@ class NaturalOrderController:
         line_address: int,
         direction: Direction,
         start_at: int,
-        closed_page: bool,
-    ) -> Tuple[int, int, int, bool]:
+    ) -> Tuple[int, int, int, bool, int, int]:
         """Issue one full-cacheline transaction.
+
+        Each packet routes through the device's shared access path
+        (:func:`repro.rdram.device.perform_access`), which owns the
+        open/conflict decision and consults the page manager; the
+        plan-time precharge flag goes on the last packet of the line
+        when the manager plants precharges (the closed-page policy).
 
         Returns:
             (first command start, first DATA packet start, last DATA
-            packet end, whether a bank conflict forced a precharge).
+            packet end, whether a bank conflict forced a precharge,
+            page hits, page misses).
         """
         packets = self.config.packets_per_cacheline
         bus_dir = (
@@ -219,30 +232,14 @@ class NaturalOrderController:
         first_arrival = 0
         data_end = 0
         had_conflict = False
+        hits = 0
+        misses = 0
         for offset in range(packets):
             location = self.address_map.decompose(line_address + offset * 16)
-            bank = self.device.bank(location.bank)
-            if bank.open_row != location.row:
-                if bank.is_open:
-                    had_conflict = True
-                    prer = self.device.issue_prer(location.bank, start_at)
-                    if first_cmd is None:
-                        first_cmd = prer.start
-                for neighbor in self.device.geometry.neighbors(location.bank):
-                    # Double-bank cores: adjacent open banks share the
-                    # sense amps and must be precharged first.
-                    if self.device.bank(neighbor).is_open:
-                        had_conflict = True
-                        prer = self.device.issue_prer(neighbor, start_at)
-                        if first_cmd is None:
-                            first_cmd = prer.start
-                act = self.device.issue_act(
-                    location.bank, location.row, start_at
-                )
-                if first_cmd is None:
-                    first_cmd = act.start
-            precharge = closed_page and offset == packets - 1
-            access = self.device.issue_col(
+            precharge = (
+                self.page_manager.plans_precharge and offset == packets - 1
+            )
+            outcome = self.device.issue_access(
                 location.bank,
                 location.row,
                 location.column,
@@ -250,10 +247,15 @@ class NaturalOrderController:
                 bus_dir,
                 precharge=precharge,
             )
+            had_conflict = had_conflict or outcome.conflicts > 0
+            if outcome.page_hit:
+                hits += 1
+            else:
+                misses += 1
             if first_cmd is None:
-                first_cmd = access.col.start
+                first_cmd = outcome.first_cmd
             if offset == 0:
-                first_arrival = access.data.start
-            data_end = access.data.end
+                first_arrival = outcome.access.data.start
+            data_end = outcome.access.data.end
         assert first_cmd is not None
-        return first_cmd, first_arrival, data_end, had_conflict
+        return first_cmd, first_arrival, data_end, had_conflict, hits, misses

@@ -21,8 +21,9 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro.errors import ConfigurationError
-from repro.memsys.address import AddressMap
-from repro.memsys.config import MemorySystemConfig, PagePolicy
+from repro.memsys.address import get_address_mapping
+from repro.memsys.config import MemorySystemConfig
+from repro.memsys.pagemanager import make_page_manager
 from repro.naturalorder.controller import MAX_OUTSTANDING
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
@@ -49,12 +50,14 @@ class RandomAccessDriver:
             raise ConfigurationError("queue depth must be at least 1")
         self.config = config
         self.queue_depth = queue_depth
+        self.page_manager = make_page_manager(config)
         self.device = make_memory(
             timing=config.timing,
             geometry=config.geometry,
             record_trace=record_trace,
+            page_manager=self.page_manager,
         )
-        self.address_map = AddressMap(config)
+        self.address_map = get_address_mapping(config)
 
     def run(
         self,
@@ -79,7 +82,6 @@ class RandomAccessDriver:
         rng = random.Random(seed)
         line_bytes = self.config.cacheline_bytes
         total_lines = self.config.geometry.capacity_bytes // line_bytes
-        closed_page = self.config.page_policy is PagePolicy.CLOSED
         packets = self.config.packets_per_cacheline
 
         outstanding: Deque[int] = deque()
@@ -101,29 +103,21 @@ class RandomAccessDriver:
                 location = self.address_map.decompose(
                     line * line_bytes + offset * 16
                 )
-                bank = self.device.bank(location.bank)
-                if bank.open_row != location.row:
-                    if bank.is_open:
-                        conflicts += 1
-                        self.device.issue_prer(location.bank, start_at)
-                    for neighbor in self.config.geometry.neighbors(
-                        location.bank
-                    ):
-                        if self.device.bank(neighbor).is_open:
-                            conflicts += 1
-                            self.device.issue_prer(neighbor, start_at)
-                    self.device.issue_act(location.bank, location.row, start_at)
-                access = self.device.issue_col(
+                outcome = self.device.issue_access(
                     location.bank,
                     location.row,
                     location.column,
                     start_at,
                     direction,
-                    precharge=closed_page and offset == packets - 1,
+                    precharge=(
+                        self.page_manager.plans_precharge
+                        and offset == packets - 1
+                    ),
                 )
+                conflicts += outcome.conflicts
                 if first_data is None:
-                    first_data = access.data.start
-                last_data_end = access.data.end
+                    first_data = outcome.access.data.start
+                last_data_end = outcome.access.data.end
             outstanding.append(last_data_end)
 
         moved = self.device.bytes_transferred

@@ -22,7 +22,9 @@ See :mod:`repro.obs.core` for the primitives,
 
 from repro.obs.attribution import (
     BUCKETS,
+    AccessMix,
     StallAttribution,
+    access_mix,
     attribute_stalls,
     format_stall_table,
 )
@@ -36,6 +38,7 @@ from repro.obs.core import (
 )
 
 __all__ = [
+    "AccessMix",
     "BUCKETS",
     "CounterRegistry",
     "DataBusGap",
@@ -44,6 +47,7 @@ __all__ = [
     "Instrumentation",
     "SpanEvent",
     "StallAttribution",
+    "access_mix",
     "attribute_stalls",
     "format_stall_table",
 ]

@@ -115,6 +115,94 @@ class StallAttribution:
         return format_stall_table(self.as_dict())
 
 
+@dataclass(frozen=True)
+class AccessMix:
+    """Row-buffer outcome rates for an instrumented run.
+
+    Every column access the device issues is classified at the shared
+    access path (:func:`repro.rdram.device.perform_access`): a *page
+    hit* found its row already open, a *page miss* had to activate,
+    and a miss that additionally had to precharge a different open row
+    first is also a *bank conflict*.  The page-management policy layer
+    exists to move these rates, so they are first-class observables.
+
+    Attributes:
+        page_hits: Accesses whose row was already open.
+        page_misses: Accesses that activated a row.
+        bank_conflicts: Precharges forced by conflicting open rows
+            (target bank or a doubled-bank neighbor).
+        autocloses: Precharges a runtime page manager issued on its
+            own (e.g. the timeout policy's expiries).
+    """
+
+    page_hits: int
+    page_misses: int
+    bank_conflicts: int
+    autocloses: int
+
+    @property
+    def accesses(self) -> int:
+        """Total classified column accesses."""
+        return self.page_hits + self.page_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from an open row."""
+        return self.page_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that activated."""
+        return self.page_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def conflict_rate(self) -> float:
+        """Forced precharges per access (can exceed miss_rate's share
+        contribution on doubled-bank parts, where one access may close
+        both a target row and a neighbor)."""
+        return self.bank_conflicts / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form embedded in exports and reports."""
+        return {
+            "page_hits": self.page_hits,
+            "page_misses": self.page_misses,
+            "bank_conflicts": self.bank_conflicts,
+            "autocloses": self.autocloses,
+            "page_hit_rate": self.hit_rate,
+            "page_miss_rate": self.miss_rate,
+            "bank_conflict_rate": self.conflict_rate,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable rate report."""
+        return (
+            f"{self.accesses} accesses: "
+            f"{self.hit_rate:.1%} page hits, "
+            f"{self.miss_rate:.1%} page misses, "
+            f"{self.conflict_rate:.1%} bank conflicts"
+            + (f", {self.autocloses} autocloses" if self.autocloses else "")
+        )
+
+
+def access_mix(obs: Instrumentation) -> AccessMix:
+    """The run's row-buffer outcome rates, from the device counters.
+
+    Args:
+        obs: Instrumentation attached to a completed run.
+
+    Returns:
+        The access mix; all-zero if the run issued no accesses through
+        the shared access path.
+    """
+    return AccessMix(
+        page_hits=obs.counters.get("device.page_hits"),
+        page_misses=obs.counters.get("device.page_misses"),
+        bank_conflicts=obs.counters.get("device.bank_conflicts"),
+        autocloses=obs.counters.get("device.autoclose"),
+    )
+
+
 def format_stall_table(stalls: Mapping[str, object]) -> str:
     """Render a stalls dict (see :meth:`StallAttribution.as_dict`)."""
     cycles = int(stalls["cycles"])  # type: ignore[arg-type]

@@ -31,8 +31,8 @@ All timestamps are interface-clock cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
 
 
 class CounterRegistry:

@@ -62,6 +62,15 @@ class Bank:
         return self._last_act_start
 
     @property
+    def last_col_end(self) -> int:
+        """End cycle of the most recent COL packet (NEVER if none).
+
+        Exposed for time-based page managers: a bank's idle time is
+        measured from the later of the opening ACT and the last COL.
+        """
+        return self._last_col_end
+
+    @property
     def last_prer_start(self) -> int:
         """Start cycle of the most recent precharge (NEVER if none).
 

@@ -26,9 +26,11 @@ from repro.errors import ConfigurationError, ProtocolError
 from repro.obs.core import Instrumentation
 from repro.rdram.bank import NEVER, Bank
 from repro.rdram.device import (
+    AccessIssue,
     RdramGeometry,
     ScheduledAccess,
     flush_bank_observation,
+    perform_access,
     record_bank_close,
     record_data_gap,
 )
@@ -116,29 +118,35 @@ def make_memory(
     geometry=None,
     record_trace: bool = True,
     explicit_retire: bool = False,
+    page_manager=None,
 ):
     """Build the right memory model for a geometry.
 
     A :class:`ChannelGeometry` yields a :class:`RambusChannel`; an
     :class:`~repro.rdram.device.RdramGeometry` (or None) yields a
     single :class:`~repro.rdram.device.RdramDevice`.  Controllers are
-    agnostic — both expose the same interface.
+    agnostic — both expose the same interface.  An optional
+    :class:`~repro.memsys.pagemanager.PageManager` is attached for the
+    ``issue_access`` path to consult.
     """
     from repro.rdram.device import RdramDevice
 
     if isinstance(geometry, ChannelGeometry):
-        return RambusChannel(
+        memory = RambusChannel(
             timing=timing,
             geometry=geometry,
             record_trace=record_trace,
             explicit_retire=explicit_retire,
         )
-    return RdramDevice(
-        timing=timing,
-        geometry=geometry,
-        record_trace=record_trace,
-        explicit_retire=explicit_retire,
-    )
+    else:
+        memory = RdramDevice(
+            timing=timing,
+            geometry=geometry,
+            record_trace=record_trace,
+            explicit_retire=explicit_retire,
+        )
+    memory.page_manager = page_manager
+    return memory
 
 
 class RambusChannel:
@@ -170,6 +178,8 @@ class RambusChannel:
         self.explicit_retire = explicit_retire
         #: Optional instrumentation (see RdramDevice.obs).
         self.obs: Optional[Instrumentation] = None
+        #: Optional page-management strategy (see RdramDevice.page_manager).
+        self.page_manager = None
         self.banks: List[Bank] = [
             Bank(index=i, timing=self.timing)
             for i in range(self.geometry.num_banks)
@@ -374,6 +384,45 @@ class RambusChannel:
                 )
         return ScheduledAccess(col=col, data=data, precharged=precharge)
 
+    def issue_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        now: int,
+        direction: BusDirection,
+        precharge: bool = False,
+    ) -> AccessIssue:
+        """Issue one full stream access (see
+        :func:`repro.rdram.device.perform_access`)."""
+        return perform_access(
+            self, bank, row, column, now, direction, precharge=precharge
+        )
+
+    def sync_bank(self, index: int, now: int) -> None:
+        """Materialize any page-manager action due on a global bank."""
+        if self.page_manager is not None and self.page_manager.runtime:
+            self.page_manager.sync(self, index, now)
+
+    def autoclose(self, bank: int, due: int) -> None:
+        """Close a bank from a page-manager timeout (no ROW-bus cost)."""
+        bank_obj = self.bank(bank)
+        start = bank_obj.earliest_prer(due)
+        if self.obs is not None:
+            self.obs.counters.incr("device.autoclose")
+            record_bank_close(self.obs, bank_obj, bank, start, via_col=True)
+        bank_obj.apply_prer(start)
+        if self.record_trace:
+            self.trace.append(
+                RowPacket(
+                    command=RowCommand.PRER,
+                    bank=bank,
+                    row=None,
+                    start=start,
+                    via_col=True,
+                )
+            )
+
     def finish_observation(self, end_cycle: int) -> None:
         """Close any still-open "row open" spans at the end of a run."""
         if self.obs is not None:
@@ -383,6 +432,8 @@ class RambusChannel:
         """Return the channel and all devices to the power-on state."""
         for bank in self.banks:
             bank.reset()
+        if self.page_manager is not None:
+            self.page_manager.reset()
         self.trace.clear()
         self._row_bus_free = 0
         self._col_bus_free = 0

@@ -29,7 +29,7 @@ and write-buffer retires appear only through t_RW.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
@@ -211,6 +211,106 @@ class ScheduledAccess:
     precharged: bool
 
 
+@dataclass
+class AccessIssue:
+    """Result of one full stream access through :func:`perform_access`.
+
+    Attributes:
+        access: The scheduled COL/DATA packets.
+        first_cmd: Start cycle of the first command the access needed
+            (a forced PRER, the ACT, or the COL packet on a page hit).
+        activated: True if the access issued a ROW ACT.
+        conflicts: Precharges forced by open banks holding other rows
+            (the target bank and, on double-bank cores, neighbors).
+        page_hit: True if the needed row was already open.
+    """
+
+    access: ScheduledAccess
+    first_cmd: int
+    activated: bool
+    conflicts: int
+    page_hit: bool
+
+
+def perform_access(
+    memory,
+    bank_index: int,
+    row: int,
+    column: int,
+    now: int,
+    direction: BusDirection,
+    precharge: bool = False,
+) -> AccessIssue:
+    """Issue one stream access, opening the row as needed.
+
+    This is the single place the open/conflict/precharge decision is
+    made: every controller (MSU, natural-order, L2 streamer, random
+    driver) routes its accesses through here via
+    ``memory.issue_access``.  The sequence is the historical one —
+    precharge the target bank if it holds the wrong row, precharge any
+    open double-bank neighbors, activate, then the COL packet — so the
+    paper's CLI+closed and PI+open pairings are bit-identical to the
+    pre-registry code.
+
+    The memory's attached :class:`~repro.memsys.pagemanager.PageManager`
+    is consulted when it has runtime behavior: due timeouts are
+    materialized before the bank is inspected, the access is fed to
+    the predictor, and the manager may add a precharge flag to the COL
+    packet.  ``precharge=True`` from the caller (a plan-time flag) is
+    always honored.
+    """
+    manager = memory.page_manager
+    runtime = manager is not None and manager.runtime
+    if runtime:
+        manager.sync(memory, bank_index, now)
+        for neighbor in memory.geometry.neighbors(bank_index):
+            manager.sync(memory, neighbor, now)
+    bank_obj = memory.bank(bank_index)
+    page_hit = bank_obj.open_row == row
+    first_cmd: Optional[int] = None
+    conflicts = 0
+    activated = False
+    if not page_hit:
+        if bank_obj.is_open:
+            conflicts += 1
+            packet = memory.issue_prer(bank_index, now)
+            first_cmd = packet.start
+        for neighbor in memory.geometry.neighbors(bank_index):
+            # Double-bank cores: an adjacent open bank shares the
+            # sense amps and must be precharged first.
+            if memory.bank(neighbor).is_open:
+                conflicts += 1
+                packet = memory.issue_prer(neighbor, now)
+                if first_cmd is None:
+                    first_cmd = packet.start
+        packet = memory.issue_act(bank_index, row, now)
+        if first_cmd is None:
+            first_cmd = packet.start
+        activated = True
+    if runtime:
+        manager.observe(memory, bank_index, row)
+        if not precharge:
+            precharge = manager.close_after(memory, bank_index, row)
+    access = memory.issue_col(
+        bank_index, row, column, now, direction, precharge=precharge
+    )
+    if first_cmd is None:
+        first_cmd = access.col.start
+    if memory.obs is not None:
+        memory.obs.counters.incr(
+            "device.page_hits" if page_hit else "device.page_misses"
+        )
+        if conflicts:
+            memory.obs.counters.incr("device.bank_conflicts", conflicts)
+    return AccessIssue(
+        access=access,
+        first_cmd=first_cmd,
+        activated=activated,
+        conflicts=conflicts,
+        page_hit=page_hit,
+    )
+
+
 class RdramDevice:
     """One Direct RDRAM device on a Rambus channel.
 
@@ -244,6 +344,10 @@ class RdramDevice:
         #: bank-row spans, and DATA-bus gap records for stall
         #: attribution.  None (the default) costs one branch per issue.
         self.obs: Optional[Instrumentation] = None
+        #: Optional page-management strategy consulted by
+        #: :func:`perform_access`; None behaves like the open policy
+        #: (callers decide precharge flags themselves).
+        self.page_manager = None
         self.banks: List[Bank] = [
             Bank(index=i, timing=self.timing) for i in range(self.geometry.num_banks)
         ]
@@ -477,6 +581,56 @@ class RdramDevice:
                 )
         return ScheduledAccess(col=col, data=data, precharged=precharge)
 
+    def issue_access(
+        self,
+        bank: int,
+        row: int,
+        column: int,
+        now: int,
+        direction: BusDirection,
+        precharge: bool = False,
+    ) -> AccessIssue:
+        """Issue one full stream access (see :func:`perform_access`)."""
+        return perform_access(
+            self, bank, row, column, now, direction, precharge=precharge
+        )
+
+    def sync_bank(self, index: int, now: int) -> None:
+        """Materialize any page-manager action due on a bank.
+
+        Call before inspecting a bank's open-row state from outside
+        the access path (e.g. look-ahead scheduling policies); a no-op
+        without a runtime page manager.
+        """
+        if self.page_manager is not None and self.page_manager.runtime:
+            self.page_manager.sync(self, index, now)
+
+    def autoclose(self, bank: int, due: int) -> None:
+        """Close a bank from a page-manager timeout at cycle ``due``.
+
+        Modeled like a COL-riding precharge: the PRER takes effect at
+        the earliest bank-legal cycle at or after ``due``, with no
+        ROW-bus occupancy.  ``due`` may be in the past relative to the
+        current access — the bank was untouched since, so the late
+        materialization is exact.
+        """
+        bank_obj = self.bank(bank)
+        start = bank_obj.earliest_prer(due)
+        if self.obs is not None:
+            self.obs.counters.incr("device.autoclose")
+            record_bank_close(self.obs, bank_obj, bank, start, via_col=True)
+        bank_obj.apply_prer(start)
+        if self.record_trace:
+            self.trace.append(
+                RowPacket(
+                    command=RowCommand.PRER,
+                    bank=bank,
+                    row=None,
+                    start=start,
+                    via_col=True,
+                )
+            )
+
     def finish_observation(self, end_cycle: int) -> None:
         """Close any still-open "row open" spans at the end of a run."""
         if self.obs is not None:
@@ -486,6 +640,8 @@ class RdramDevice:
         """Return the device and all banks to the power-on state."""
         for bank in self.banks:
             bank.reset()
+        if self.page_manager is not None:
+            self.page_manager.reset()
         self.trace.clear()
         self._row_bus_free = 0
         self._col_bus_free = 0

@@ -24,18 +24,27 @@ from repro.errors import ConfigurationError, ObservabilityError, ReproError
 from repro.analytic.cache import natural_order_bound
 from repro.analytic.smc import smc_bound
 from repro.compiler.frontend import compile_loop
+from repro.core.policies import POLICIES
 from repro.core.smc import build_smc_system
 from repro.cpu.kernels import KERNELS, get_kernel
 from repro.cpu.streams import Alignment
+from repro.memsys.address import MAPPINGS, list_mappings
+from repro.memsys.pagemanager import PAGE_POLICIES, list_page_policies
 from repro.naturalorder.controller import NaturalOrderController
-from repro.obs import Instrumentation, attribute_stalls
+from repro.obs import Instrumentation, access_mix, attribute_stalls
 from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.rdram.audit import audit_trace
 from repro.rdram.tracefmt import render_trace
 from repro.exec import execution
 from repro.sim.engine import run_smc
 from repro.sim.metrics import bank_imbalance, measure_trace
-from repro.sim.runner import RunSpec, resolve_config, resolve_policy, simulate
+from repro.sim.runner import (
+    RunSpec,
+    apply_policy_overrides,
+    resolve_config,
+    resolve_policy,
+    simulate,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "kernel",
+        nargs="?",
+        default=None,
         help=f"kernel name ({', '.join(sorted(KERNELS))}) or, with "
              "--compile, a loop body like 'y[i] = a*x[i] + y[i]'",
     )
@@ -65,9 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("staggered", "aligned"),
                         help="vector base placement (default staggered)")
     parser.add_argument("--policy", default="round-robin",
-                        choices=("round-robin", "bank-aware",
-                                 "speculative-precharge"),
+                        choices=tuple(sorted(POLICIES)),
                         help="MSU scheduling policy")
+    parser.add_argument("--interleaving", default=None, metavar="NAME",
+                        help="registered address mapping overriding the "
+                             "organization's own (see --list-policies)")
+    parser.add_argument("--page-policy", default=None, metavar="NAME",
+                        help="registered page-management policy "
+                             "overriding the organization's own (see "
+                             "--list-policies)")
+    parser.add_argument("--list-policies", action="store_true",
+                        help="list registered address mappings, page "
+                             "policies, and MSU scheduling policies, "
+                             "then exit")
     parser.add_argument("--baseline", default=None,
                         choices=("natural-order",),
                         help="run the traditional controller instead of "
@@ -121,13 +142,41 @@ def _require_trace(trace, flag: str):
     return trace
 
 
+def list_policies() -> str:
+    """The registered policy tables, one name per line."""
+    lines = ["address mappings (--interleaving):"]
+    for name in list_mappings():
+        lines.append(f"  {name:12s} {MAPPINGS[name].__doc__.splitlines()[0]}")
+    lines.append("page policies (--page-policy):")
+    for name in list_page_policies():
+        lines.append(
+            f"  {name:12s} {PAGE_POLICIES[name].__doc__.splitlines()[0]}"
+        )
+    lines.append("MSU scheduling policies (--policy):")
+    for name in sorted(POLICIES):
+        lines.append(f"  {name:12s} {POLICIES[name].__doc__.splitlines()[0]}")
+    return "\n".join(lines)
+
+
 def _run(args) -> int:
+    if args.list_policies:
+        print(list_policies())
+        return 0
+    if args.kernel is None:
+        raise ConfigurationError(
+            "a kernel is required (or use --list-policies); "
+            f"registered kernels: {sorted(KERNELS)}"
+        )
     if args.json and args.gantt is not None:
         raise ConfigurationError(
             "--json and --gantt are mutually exclusive; export the run "
             "with --trace-out to inspect its timeline"
         )
-    config = resolve_config(args.org)
+    config = apply_policy_overrides(
+        resolve_config(args.org),
+        interleaving=args.interleaving,
+        page_policy=args.page_policy,
+    )
     if args.compile:
         kernel = compile_loop(args.kernel)
     else:
@@ -198,6 +247,7 @@ def _run(args) -> int:
 
     if args.json:
         report = {"result": result_dict, "counters": dict(obs.counters.counters)}
+        report["access_mix"] = access_mix(obs).as_dict()
         if stalls is not None:
             report["stalls"] = stalls.as_dict()
         if args.metrics:
@@ -231,11 +281,16 @@ def _run(args) -> int:
           f"{result.activations} activations, "
           f"{result.bank_conflicts} bank conflicts, "
           f"{result.refreshes} refreshes")
+    if result.page_hits or result.page_misses:
+        print(f"row buffer   : {result.page_hit_rate:.1%} page-hit rate "
+              f"({result.page_hits} hits / {result.page_misses} misses)")
     if exported is not None:
         print(f"trace        : {exported} records written to "
               f"{args.trace_out}")
 
     if args.stats:
+        print()
+        print(f"access mix   : {access_mix(obs).summary()}")
         print()
         print(stalls.table())
         if obs.counters.counters:

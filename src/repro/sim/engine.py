@@ -138,6 +138,8 @@ def run_smc(
         packets_issued=msu.packets_issued,
         activations=msu.activations,
         bank_conflicts=msu.bank_conflicts,
+        page_hits=msu.page_hits,
+        page_misses=msu.page_misses,
         fifo_switches=msu.fifo_switches,
         speculative_activations=msu.speculative_activations,
         refreshes=(

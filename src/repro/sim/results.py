@@ -48,6 +48,9 @@ class SimulationResult:
         activations: ROW ACT packets issued.
         bank_conflicts: Precharges forced by a needed bank holding a
             different open row.
+        page_hits: Accesses whose needed row was already open.
+        page_misses: Accesses that had to activate (closed bank or
+            conflicting open row).
         fifo_switches: Times the MSU moved to a different FIFO.
         speculative_activations: Row activations issued ahead of need
             by a speculative policy.
@@ -70,9 +73,19 @@ class SimulationResult:
     packets_issued: int = 0
     activations: int = 0
     bank_conflicts: int = 0
+    page_hits: int = 0
+    page_misses: int = 0
     fifo_switches: int = 0
     speculative_activations: int = 0
     refreshes: int = 0
+
+    @property
+    def page_hit_rate(self) -> float:
+        """Fraction of accesses served from an already-open row."""
+        total = self.page_hits + self.page_misses
+        if total <= 0:
+            return 0.0
+        return self.page_hits / total
 
     @property
     def percent_of_peak(self) -> float:

@@ -23,7 +23,9 @@ from repro.cpu.kernels import KERNELS, Kernel, get_kernel
 from repro.cpu.streams import Alignment, Direction, StreamSpec
 from repro.core.policies import POLICIES, SchedulingPolicy
 from repro.core.smc import build_smc_system
+from repro.memsys.address import MAPPINGS, list_mappings
 from repro.memsys.config import Interleaving, MemorySystemConfig, PagePolicy
+from repro.memsys.pagemanager import PAGE_POLICIES, list_page_policies
 from repro.obs.core import Instrumentation
 from repro.rdram.channel import ChannelGeometry
 from repro.rdram.device import RdramGeometry
@@ -52,6 +54,53 @@ def resolve_config(
             f"use one of {sorted(ORGANIZATIONS)} or pass a "
             "MemorySystemConfig"
         ) from None
+
+
+def apply_policy_overrides(
+    config: MemorySystemConfig,
+    interleaving: Optional[Union[str, Interleaving]] = None,
+    page_policy: Optional[Union[str, PagePolicy]] = None,
+) -> MemorySystemConfig:
+    """A copy of ``config`` with mapping/page-policy names swapped in.
+
+    Either override may be an enum member, a registered name (see
+    :data:`repro.memsys.address.MAPPINGS` and
+    :data:`repro.memsys.pagemanager.PAGE_POLICIES`), or None to keep
+    the config's own choice.
+
+    Raises:
+        ConfigurationError: On a name no registry entry claims.
+    """
+    replacements: Dict[str, Any] = {}
+    if interleaving is not None:
+        replacements["interleaving"] = _canonical_mapping_name(interleaving)
+    if page_policy is not None:
+        replacements["page_policy"] = _canonical_policy_name(page_policy)
+    if not replacements:
+        return config
+    return dataclasses.replace(config, **replacements)
+
+
+def _canonical_mapping_name(value: Union[str, Interleaving]) -> str:
+    """Validate an address-mapping spelling against the registry."""
+    name = value.value if isinstance(value, Interleaving) else str(value).lower()
+    if name not in MAPPINGS:
+        raise ConfigurationError(
+            f"unknown address mapping {value!r}; "
+            f"registered mappings: {list_mappings()}"
+        )
+    return name
+
+
+def _canonical_policy_name(value: Union[str, PagePolicy]) -> str:
+    """Validate a page-policy spelling against the registry."""
+    name = value.value if isinstance(value, PagePolicy) else str(value).lower()
+    if name not in PAGE_POLICIES:
+        raise ConfigurationError(
+            f"unknown page policy {value!r}; "
+            f"registered policies: {list_page_policies()}"
+        )
+    return name
 
 
 def resolve_policy(
@@ -99,22 +148,28 @@ def _geometry_from_dict(data: Mapping[str, Any]) -> Any:
 
 
 def _config_to_dict(config: MemorySystemConfig) -> Dict[str, Any]:
-    return {
+    data = {
         "timing": dataclasses.asdict(config.timing),
         "geometry": _geometry_to_dict(config.geometry),
-        "interleaving": config.interleaving.value,
-        "page_policy": config.page_policy.value,
+        "interleaving": config.interleaving_name,
+        "page_policy": config.page_policy_name,
         "cacheline_bytes": config.cacheline_bytes,
     }
+    # Emitted only when non-default so that canonical cache keys for
+    # configs predating the field are unchanged.
+    if config.page_timeout_cycles != 64:
+        data["page_timeout_cycles"] = config.page_timeout_cycles
+    return data
 
 
 def _config_from_dict(data: Mapping[str, Any]) -> MemorySystemConfig:
     return MemorySystemConfig(
         timing=RdramTiming(**data["timing"]),
         geometry=_geometry_from_dict(data["geometry"]),
-        interleaving=Interleaving(data["interleaving"]),
-        page_policy=PagePolicy(data["page_policy"]),
+        interleaving=data["interleaving"],
+        page_policy=data["page_policy"],
         cacheline_bytes=data["cacheline_bytes"],
+        page_timeout_cycles=data.get("page_timeout_cycles", 64),
     )
 
 
@@ -170,6 +225,16 @@ class RunSpec:
     the registry cannot be serialized (and therefore cannot be cached
     or sent to worker processes — run them serially instead).
 
+    The ``interleaving`` and ``page_policy`` fields override the
+    organization's own choices with any registered address mapping or
+    page-management policy by name.  They too are normalized: enum
+    members become their registry names, and an override equal to what
+    the organization would pick anyway collapses to None, so e.g.
+    ``RunSpec(organization="cli", page_policy="closed")`` and
+    ``RunSpec(organization="cli")`` hash equally.  A custom config
+    that differs from a named design point only in these two choices
+    is decomposed into the name plus overrides for the same reason.
+
     Note that runtime instrumentation (the ``obs`` argument of
     :func:`simulate`) is deliberately *not* part of the spec: it does
     not change the simulated outcome, only what is recorded about it.
@@ -184,20 +249,54 @@ class RunSpec:
     policy: Union[str, SchedulingPolicy, None] = None
     audit: bool = False
     refresh: bool = False
+    interleaving: Optional[Union[str, Interleaving]] = None
+    page_policy: Optional[Union[str, PagePolicy]] = None
 
     def __post_init__(self) -> None:
         kernel = self.kernel
         if isinstance(kernel, Kernel) and KERNELS.get(kernel.name) == kernel:
             object.__setattr__(self, "kernel", kernel.name)
+        if self.interleaving is not None:
+            object.__setattr__(
+                self, "interleaving",
+                _canonical_mapping_name(self.interleaving),
+            )
+        if self.page_policy is not None:
+            object.__setattr__(
+                self, "page_policy",
+                _canonical_policy_name(self.page_policy),
+            )
         organization = self.organization
         if isinstance(organization, str):
             if organization.lower() in ORGANIZATIONS:
                 object.__setattr__(self, "organization", organization.lower())
         elif isinstance(organization, MemorySystemConfig):
-            for name, factory in ORGANIZATIONS.items():
-                if organization == factory():
-                    object.__setattr__(self, "organization", name)
-                    break
+            self._canonicalize_config(organization)
+        organization = self.organization
+        if isinstance(organization, str) and organization in ORGANIZATIONS:
+            # Overrides that restate the named organization's own
+            # defaults carry no information; drop them.
+            base = ORGANIZATIONS[organization]()
+            if self.interleaving == base.interleaving_name:
+                object.__setattr__(self, "interleaving", None)
+            if self.page_policy == base.page_policy_name:
+                object.__setattr__(self, "page_policy", None)
+            if self.interleaving is not None or self.page_policy is not None:
+                # Overrides that turn one named organization into
+                # another collapse to the bare name, so e.g.
+                # cli + interleaving=pi + page_policy=open hashes the
+                # same as plain "pi".
+                effective = apply_policy_overrides(
+                    base,
+                    interleaving=self.interleaving,
+                    page_policy=self.page_policy,
+                )
+                for name, factory in ORGANIZATIONS.items():
+                    if effective == factory():
+                        object.__setattr__(self, "organization", name)
+                        object.__setattr__(self, "interleaving", None)
+                        object.__setattr__(self, "page_policy", None)
+                        break
         alignment = self.alignment
         if isinstance(alignment, Alignment):
             object.__setattr__(self, "alignment", alignment.value)
@@ -211,6 +310,45 @@ class RunSpec:
             and type(policy) is POLICIES.get(policy.name)
         ):
             object.__setattr__(self, "policy", policy.name)
+
+    def _canonicalize_config(self, config: MemorySystemConfig) -> None:
+        """Reduce a config to a named organization where possible.
+
+        An exact match becomes the bare name.  A config that differs
+        from a named design point only in its interleaving/page-policy
+        choices becomes the name plus override fields — but only when
+        the caller gave no explicit overrides, so an explicit override
+        is never silently combined with a conflicting config.
+        """
+        for name, factory in ORGANIZATIONS.items():
+            if config == factory():
+                object.__setattr__(self, "organization", name)
+                return
+        if self.interleaving is not None or self.page_policy is not None:
+            return
+        for name, factory in ORGANIZATIONS.items():
+            base = factory()
+            restored = dataclasses.replace(
+                config,
+                interleaving=base.interleaving,
+                page_policy=base.page_policy,
+                page_timeout_cycles=base.page_timeout_cycles,
+            )
+            if restored == base:
+                if config.page_timeout_cycles != base.page_timeout_cycles:
+                    # The timeout knob has no override field; keep the
+                    # config structural so the value is preserved.
+                    return
+                object.__setattr__(self, "organization", name)
+                if config.interleaving_name != base.interleaving_name:
+                    object.__setattr__(
+                        self, "interleaving", config.interleaving_name
+                    )
+                if config.page_policy_name != base.page_policy_name:
+                    object.__setattr__(
+                        self, "page_policy", config.page_policy_name
+                    )
+                return
 
     def to_dict(self) -> Dict[str, Any]:
         """This spec as a JSON-safe dict (inverse of :meth:`from_dict`).
@@ -233,7 +371,7 @@ class RunSpec:
                 "cannot be serialized; register the class or pass the "
                 "policy by name"
             )
-        return {
+        data = {
             "kernel": kernel,
             "organization": organization,
             "length": self.length,
@@ -244,6 +382,14 @@ class RunSpec:
             "audit": self.audit,
             "refresh": self.refresh,
         }
+        # None overrides are omitted (not serialized as null) so that
+        # canonical cache keys from before these fields existed are
+        # unchanged.
+        if self.interleaving is not None:
+            data["interleaving"] = self.interleaving
+        if self.page_policy is not None:
+            data["page_policy"] = self.page_policy
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
@@ -284,6 +430,14 @@ class RunSpec:
             f"{kernel}/{org} L={self.length} f={self.fifo_depth} "
             f"stride={self.stride} {self.alignment}"
             + (f" policy={self.policy}" if self.policy is not None else "")
+            + (
+                f" interleaving={self.interleaving}"
+                if self.interleaving is not None else ""
+            )
+            + (
+                f" page_policy={self.page_policy}"
+                if self.page_policy is not None else ""
+            )
         )
 
 
@@ -318,7 +472,11 @@ def simulate(
     kernel_obj = (
         get_kernel(spec.kernel) if isinstance(spec.kernel, str) else spec.kernel
     )
-    config = resolve_config(spec.organization)
+    config = apply_policy_overrides(
+        resolve_config(spec.organization),
+        interleaving=spec.interleaving,
+        page_policy=spec.page_policy,
+    )
     system = build_smc_system(
         kernel_obj,
         config,
@@ -346,6 +504,8 @@ def simulate_kernel(
     policy: Union[str, SchedulingPolicy, None] = None,
     audit: bool = False,
     refresh: bool = False,
+    interleaving: Optional[Union[str, Interleaving]] = None,
+    page_policy: Optional[Union[str, PagePolicy]] = None,
     obs: Optional[Instrumentation] = None,
 ) -> SimulationResult:
     """Simulate one streaming kernel on an SMC-equipped RDRAM system.
@@ -368,6 +528,11 @@ def simulate_kernel(
             auditor after the run (slower; implies trace recording).
         refresh: Run a background refresh engine (the paper ignores
             refresh; enable to measure its cost).
+        interleaving: Optional registered address-mapping name (e.g.
+            "swizzle") overriding the organization's own choice.
+        page_policy: Optional registered page-management policy name
+            (e.g. "timeout", "hybrid") overriding the organization's
+            own choice.
         obs: Optional :class:`~repro.obs.core.Instrumentation` to
             record counters, spans and DATA-bus gaps for this run (see
             :mod:`repro.obs`).  Default None costs nothing.
@@ -391,5 +556,7 @@ def simulate_kernel(
         policy=policy,
         audit=audit,
         refresh=refresh,
+        interleaving=interleaving,
+        page_policy=page_policy,
     )
     return simulate(spec, obs=obs)

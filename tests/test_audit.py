@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.rdram.audit import audit_trace
-from repro.rdram.device import RdramDevice
 from repro.rdram.packets import (
     BusDirection,
     ColCommand,

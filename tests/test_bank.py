@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.rdram.bank import NEVER, Bank
-from repro.rdram.timing import RdramTiming
 
 
 @pytest.fixture

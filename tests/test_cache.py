@@ -8,7 +8,6 @@ from repro.errors import ConfigurationError
 from repro.cache.controller import CachedNaturalOrderController
 from repro.cache.model import CacheConfig, CacheModel
 from repro.cpu.kernels import COPY, DAXPY, VAXPY
-from repro.memsys.config import MemorySystemConfig
 from repro.naturalorder.controller import NaturalOrderController
 from repro.rdram.audit import audit_trace
 from repro.sim.runner import simulate_kernel

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.rdram.device import RdramDevice, RdramGeometry
-from repro.rdram.packets import BusDirection, ColPacket, DataPacket, RowCommand, RowPacket
+from repro.rdram.packets import BusDirection, RowCommand, RowPacket
 
 
 class TestGeometry:

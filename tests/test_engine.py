@@ -7,9 +7,8 @@ import pytest
 from repro.errors import SchedulingError
 from repro.core.policies import BankAwarePolicy
 from repro.core.smc import build_smc_system
-from repro.cpu.kernels import COPY, DAXPY, DOT, FILL, get_kernel
+from repro.cpu.kernels import COPY, DAXPY, DOT, FILL
 from repro.cpu.streams import Alignment, place_streams
-from repro.memsys.config import MemorySystemConfig
 from repro.sim.engine import run_smc
 
 

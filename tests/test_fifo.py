@@ -7,10 +7,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SchedulingError, StreamError
-from repro.core.fifo import AccessUnit, StreamFifo, build_access_units
+from repro.core.fifo import StreamFifo, build_access_units
 from repro.cpu.streams import Direction, StreamDescriptor
 from repro.memsys.address import AddressMap
-from repro.memsys.config import MemorySystemConfig, PagePolicy
+from repro.memsys.config import MemorySystemConfig
 
 
 def make_units(

@@ -13,8 +13,6 @@ from repro.core.gather import (
     simulate_gather,
 )
 from repro.cpu.streams import Direction, StreamDescriptor
-from repro.memsys.config import MemorySystemConfig
-from repro.rdram.audit import audit_trace
 from repro.sim.engine import run_smc
 
 

@@ -14,7 +14,6 @@ from repro.analytic.cache import natural_order_bound
 from repro.analytic.smc import smc_bound
 from repro.cpu.kernels import PAPER_KERNELS, get_kernel
 from repro.memsys.config import MemorySystemConfig
-from repro.naturalorder.controller import NaturalOrderController
 from repro.sim.runner import simulate_kernel
 
 ORGS = ("cli", "pi")

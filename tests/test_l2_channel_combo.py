@@ -7,7 +7,6 @@ strided workloads, refresh on channels — to catch interface seams.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cache.model import CacheConfig
 from repro.core.gather import simulate_gather

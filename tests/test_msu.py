@@ -2,16 +2,15 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.msu import IDLE, ArrivalEvent, MemorySchedulingUnit
 from repro.core.policies import RoundRobinPolicy
 from repro.core.sbu import StreamBufferUnit
 from repro.cpu.kernels import COPY, DAXPY
 from repro.cpu.streams import Alignment, place_streams
-from repro.memsys.config import MemorySystemConfig, PagePolicy
+from repro.memsys.config import MemorySystemConfig
 from repro.rdram.device import RdramDevice
-from repro.rdram.packets import BusDirection, ColPacket
+from repro.rdram.packets import ColPacket
 
 
 def make_msu(kernel=DAXPY, org="cli", length=32, depth=8, alignment=Alignment.STAGGERED):

@@ -6,7 +6,6 @@ import pytest
 
 from repro.analytic.cache import natural_order_bound
 from repro.cpu.kernels import COPY, DAXPY, PAPER_KERNELS, TRIAD, VAXPY, get_kernel
-from repro.cpu.streams import Alignment
 from repro.memsys.config import MemorySystemConfig
 from repro.naturalorder.controller import MAX_OUTSTANDING, NaturalOrderController
 from repro.rdram.audit import audit_trace

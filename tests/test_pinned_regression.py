@@ -1,0 +1,88 @@
+"""Pinned bit-identity regression for the paper's two pairings.
+
+``tests/data/pinned_paper_pairings.json`` was captured from the
+simulator *before* the pluggable policy-layer refactor: every
+:class:`~repro.sim.results.SimulationResult` field for the four paper
+kernels on CLI+closed and PI+open, through both the SMC and the
+natural-order controller.  The refactor moved the precharge decision
+into the shared device access path, so these tests prove it changed
+nothing the paper's numbers depend on — any drift in any field is a
+behavioral regression, not noise.
+
+The fixture intentionally predates the ``page_hits``/``page_misses``
+result fields; only the fields present in the fixture are compared.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cpu.kernels import PAPER_KERNELS
+from repro.memsys.config import MemorySystemConfig
+from repro.core.smc import build_smc_system
+from repro.naturalorder.controller import NaturalOrderController
+from repro.sim.engine import run_smc
+
+LENGTH = 128
+FIFO_DEPTH = 32
+
+FIXTURE = Path(__file__).parent / "data" / "pinned_paper_pairings.json"
+
+ORGS = {
+    "cli": MemorySystemConfig.cli,
+    "pi": MemorySystemConfig.pi,
+}
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.mark.parametrize("org", sorted(ORGS))
+@pytest.mark.parametrize("kernel_name", sorted(PAPER_KERNELS))
+class TestPinnedPairings:
+    def test_smc_bit_identical(self, pinned, org, kernel_name):
+        result = run_smc(
+            build_smc_system(
+                PAPER_KERNELS[kernel_name],
+                ORGS[org](),
+                length=LENGTH,
+                fifo_depth=FIFO_DEPTH,
+            )
+        )
+        got = dataclasses.asdict(result)
+        want = pinned[f"smc/{org}/{kernel_name}"]
+        mismatches = {
+            field: (got[field], value)
+            for field, value in want.items()
+            if got[field] != value
+        }
+        assert not mismatches, mismatches
+
+    def test_natural_order_bit_identical(self, pinned, org, kernel_name):
+        result = NaturalOrderController(ORGS[org]()).run(
+            PAPER_KERNELS[kernel_name], length=LENGTH
+        )
+        got = dataclasses.asdict(result)
+        want = pinned[f"natural/{org}/{kernel_name}"]
+        mismatches = {
+            field: (got[field], value)
+            for field, value in want.items()
+            if got[field] != value
+        }
+        assert not mismatches, mismatches
+
+
+def test_fixture_covers_the_full_matrix(pinned):
+    expected = {
+        f"{controller}/{org}/{kernel}"
+        for controller in ("smc", "natural")
+        for org in ORGS
+        for kernel in PAPER_KERNELS
+    }
+    assert set(pinned) == expected

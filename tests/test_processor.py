@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Set
 
 from repro.cpu.kernels import COPY, DAXPY, DOT
 from repro.cpu.processor import MATCHED_ACCESS_INTERVAL, StreamProcessor

@@ -8,7 +8,6 @@ the analytic bounds' structural relationships.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.rdram.audit import audit_trace
-from repro.rdram.device import RdramDevice, RdramGeometry
 from repro.rdram.refresh import DEFAULT_INTERVAL_CYCLES, RefreshEngine
 from repro.sim.runner import simulate_kernel
 

@@ -7,8 +7,7 @@ import pytest
 from repro.errors import StreamError
 from repro.core.sbu import StreamBufferUnit
 from repro.cpu.kernels import DAXPY
-from repro.cpu.streams import Alignment, Direction, StreamDescriptor, place_streams
-from repro.memsys.config import MemorySystemConfig
+from repro.cpu.streams import Direction, StreamDescriptor, place_streams
 
 
 @pytest.fixture

@@ -10,7 +10,6 @@ from repro.cpu.streams import (
     Alignment,
     Direction,
     StreamDescriptor,
-    StreamSpec,
     place_streams,
 )
 from repro.memsys.address import AddressMap

@@ -10,7 +10,6 @@ from repro.errors import ConfigurationError
 from repro.rdram.timing import (
     BYTES_PER_CYCLE_PEAK,
     DATA_PACKET_BYTES,
-    DEFAULT_TIMING,
     DRAM_FAMILIES,
     INTERFACE_CLOCK_MHZ,
     PEAK_BANDWIDTH_BYTES_PER_SEC,
