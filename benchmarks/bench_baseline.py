@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Produce ``BENCH_core.json``: simulator throughput per controller.
+
+Runs a small kernel x controller matrix end-to-end on the shared
+discrete-event simulation kernel and records best-of-N wall-clock and
+simulated cycles per second for each point.  CI runs this after the
+pytest-benchmark suites and uploads the JSON as a PR artifact so the
+cost of the simulation substrate is tracked over time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_baseline.py [--output PATH]
+        [--repeats N] [--length N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.cache.controller import CachedNaturalOrderController
+from repro.core.l2stream import L2StreamingController
+from repro.core.smc import build_smc_system
+from repro.cpu.kernels import KERNELS
+from repro.memsys.config import MemorySystemConfig
+from repro.naturalorder.controller import NaturalOrderController
+from repro.naturalorder.random_driver import RandomAccessDriver
+from repro.sim.engine import run_smc
+
+BENCH_KERNELS = ("copy", "daxpy", "vaxpy")
+
+
+def _controllers(length: int) -> Dict[str, Callable[[str, str], object]]:
+    """Map controller name -> callable(kernel, org) -> SimulationResult."""
+
+    def smc(kernel: str, org: str):
+        system = build_smc_system(
+            KERNELS[kernel],
+            getattr(MemorySystemConfig, org)(),
+            length=length,
+            fifo_depth=64,
+        )
+        return run_smc(system)
+
+    def natural(kernel: str, org: str):
+        controller = NaturalOrderController(getattr(MemorySystemConfig, org)())
+        return controller.run(KERNELS[kernel], length=length)
+
+    def cached(kernel: str, org: str):
+        controller = CachedNaturalOrderController(
+            getattr(MemorySystemConfig, org)()
+        )
+        return controller.run(KERNELS[kernel], length=length)
+
+    def l2stream(kernel: str, org: str):
+        controller = L2StreamingController(getattr(MemorySystemConfig, org)())
+        return controller.run(KERNELS[kernel], length=length)
+
+    def random(kernel: str, org: str):
+        driver = RandomAccessDriver(getattr(MemorySystemConfig, org)())
+        return driver.run(length, seed=7)
+
+    return {
+        "smc": smc,
+        "natural-order": natural,
+        "cached-natural-order": cached,
+        "l2-streaming": l2stream,
+        "random-access": random,
+    }
+
+
+def bench_point(
+    run: Callable[[str, str], object],
+    kernel: str,
+    org: str,
+    repeats: int,
+) -> Dict[str, object]:
+    best = float("inf")
+    cycles = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run(kernel, org)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        cycles = result.cycles
+    return {
+        "kernel": kernel,
+        "organization": org,
+        "wall_ms": round(best * 1e3, 3),
+        "simulated_cycles": cycles,
+        "cycles_per_second": round(cycles / best) if best > 0 else None,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_core.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--length", type=int, default=1024)
+    args = parser.parse_args(argv)
+
+    results = []
+    for name, run in _controllers(args.length).items():
+        for kernel in BENCH_KERNELS:
+            for org in ("cli", "pi"):
+                point = bench_point(run, kernel, org, args.repeats)
+                point["controller"] = name
+                results.append(point)
+                print(
+                    f"{name:22s} {kernel:8s} {org:4s} "
+                    f"{point['wall_ms']:9.3f} ms  "
+                    f"{point['cycles_per_second']:>10,} cyc/s"
+                )
+
+    report = {
+        "schema": "bench-core/1",
+        "length": args.length,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(results)} points to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,7 +91,10 @@ from repro.rdram import (
     audit_trace,
 )
 from repro.sim import (
+    EventScheduler,
+    ResultBuilder,
     RunSpec,
+    Simulation,
     SimulationResult,
     Sweep,
     TraceMetrics,
@@ -170,7 +173,10 @@ __all__ = [
     "RdramGeometry",
     "RdramTiming",
     "audit_trace",
+    "EventScheduler",
+    "ResultBuilder",
     "RunSpec",
+    "Simulation",
     "SimulationResult",
     "Sweep",
     "TraceMetrics",

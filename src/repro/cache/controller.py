@@ -16,7 +16,7 @@ advantages become even more significant."
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.cache.model import CacheConfig, CacheModel
@@ -29,6 +29,7 @@ from repro.cpu.streams import (
 )
 from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig
 from repro.naturalorder.controller import MAX_OUTSTANDING, NaturalOrderController
+from repro.sim.kernel import ResultBuilder
 from repro.sim.results import SimulationResult
 
 
@@ -40,15 +41,20 @@ class CachedNaturalOrderController(NaturalOrderController):
         cache_config: Cache geometry; its line size must match the
             memory system's cacheline.
         record_trace: Record device packets for auditing.
+        refresh: Run a background refresh engine alongside the
+            transaction stream.
     """
+
+    POLICY = "cached-natural-order"
 
     def __init__(
         self,
         config: MemorySystemConfig,
         cache_config: Optional[CacheConfig] = None,
         record_trace: bool = False,
+        refresh: bool = False,
     ) -> None:
-        super().__init__(config, record_trace=record_trace)
+        super().__init__(config, record_trace=record_trace, refresh=refresh)
         self.cache_config = cache_config or CacheConfig(
             line_bytes=config.cacheline_bytes
         )
@@ -67,6 +73,7 @@ class CachedNaturalOrderController(NaturalOrderController):
         alignment: Alignment = Alignment.STAGGERED,
         descriptors: Optional[List[StreamDescriptor]] = None,
         flush_at_end: bool = True,
+        dense: bool = False,
     ) -> SimulationResult:
         """Execute one kernel through the cache.
 
@@ -79,6 +86,8 @@ class CachedNaturalOrderController(NaturalOrderController):
             flush_at_end: Write every dirty line back when the loop
                 finishes (charged to the computation, as a following
                 computation would observe it).
+            dense: Visit every cycle in the simulation kernel instead
+                of skipping to the next transaction start.
 
         Returns:
             The result; ``bank_conflicts`` reports device-level
@@ -95,40 +104,88 @@ class CachedNaturalOrderController(NaturalOrderController):
                 stride=stride,
                 alignment=alignment,
             )
+        builder = ResultBuilder(
+            kernel=kernel.name,
+            organization=self.config.describe(),
+            length=length,
+            stride=stride,
+            fifo_depth=0,
+            alignment=alignment.value,
+            policy=self.POLICY,
+        )
+        self._simulate(
+            self._cached_steps(
+                length, descriptors, builder, flush_at_end
+            ),
+            # Every miss can carry a writeback, plus the final flush.
+            max_steps=3 * length * len(descriptors),
+            label=f"{self.POLICY}: kernel={kernel.name}, "
+            f"org={self.config.describe()}",
+            dense=dense,
+        )
+
+        useful = len(descriptors) * length * ELEMENT_BYTES
+        return builder.build(
+            cycles=builder.last_data_end,
+            useful_bytes=useful,
+            transferred_bytes=self.device.bytes_transferred,
+            packets_issued=(
+                builder.transactions * self.config.packets_per_cacheline
+            ),
+            refreshes=self.refreshes_issued,
+        )
+
+    def _cached_steps(
+        self,
+        length: int,
+        descriptors: List[StreamDescriptor],
+        builder: ResultBuilder,
+        flush_at_end: bool,
+    ) -> Iterator[int]:
+        """Generate the cache-filtered transaction stream.
+
+        The cache walk is timing-independent — outcomes depend only on
+        the access order — so the generator interleaves cache state
+        updates with issues and yields each transaction's start lower
+        bound for the kernel's :class:`TransactionPump`.
+        """
+        cache = self.cache
+        assert cache is not None
         line_first_data: Dict[str, int] = {d.name: 0 for d in descriptors}
         outstanding: Deque[int] = deque()
-        program_clock = 0
-        last_data_end = 0
-        first_data: Optional[int] = None
-        transactions = 0
-        conflicts = 0
+        clock = _ProgramClock()
 
-        def issue(line_address: int, direction: Direction, start_at: int):
-            nonlocal program_clock, last_data_end, first_data
-            nonlocal transactions, conflicts
+        def prepare(start_at: int) -> int:
             if len(outstanding) >= MAX_OUTSTANDING:
                 start_at = max(start_at, outstanding.popleft())
+            return start_at
+
+        def issue(
+            line_address: int, direction: Direction, start_at: int
+        ) -> int:
             (first_cmd, first_arrival, data_end,
-             had_conflict, _hits, _misses) = self._issue_line(
+             had_conflict, hits, misses) = self._issue_line(
                 line_address, direction, start_at
             )
-            transactions += 1
-            conflicts += int(had_conflict)
-            program_clock = max(program_clock, first_cmd)
-            last_data_end = max(last_data_end, data_end)
+            builder.transactions += 1
+            builder.bank_conflicts += int(had_conflict)
+            builder.page_hits += hits
+            builder.page_misses += misses
+            clock.value = max(clock.value, first_cmd)
+            builder.note_data_end(data_end)
             outstanding.append(data_end)
-            if direction is Direction.READ and first_data is None:
-                first_data = first_arrival
+            if direction is Direction.READ:
+                builder.note_first_data(first_arrival)
             return first_arrival
 
         for index in range(length):
             for descriptor in descriptors:
                 address = descriptor.element_address(index)
                 is_write = descriptor.direction is Direction.WRITE
-                outcome = self.cache.access(address, is_write)
+                outcome = cache.access(address, is_write)
                 if outcome.hit:
                     continue
-                start_at = program_clock
+                start_at = clock.value
                 if is_write:
                     # Write-allocate: the fill depends on this
                     # iteration's loads only through program order,
@@ -142,33 +199,29 @@ class CachedNaturalOrderController(NaturalOrderController):
                         default=0,
                     )
                     start_at = max(start_at, dependence)
-                arrival = issue(
-                    outcome.fill_line, Direction.READ, start_at
-                )
+                start_at = prepare(start_at)
+                yield start_at
+                arrival = issue(outcome.fill_line, Direction.READ, start_at)
                 if not is_write:
                     line_first_data[descriptor.name] = arrival
                 if outcome.writeback_line is not None:
+                    start_at = prepare(clock.value)
+                    yield start_at
                     issue(
-                        outcome.writeback_line, Direction.WRITE, program_clock
+                        outcome.writeback_line, Direction.WRITE, start_at
                     )
 
         if flush_at_end:
-            for line_address in self.cache.flush_dirty_lines():
-                issue(line_address, Direction.WRITE, program_clock)
+            for line_address in cache.flush_dirty_lines():
+                start_at = prepare(clock.value)
+                yield start_at
+                issue(line_address, Direction.WRITE, start_at)
 
-        useful = len(descriptors) * length * ELEMENT_BYTES
-        return SimulationResult(
-            kernel=kernel.name,
-            organization=self.config.describe(),
-            length=length,
-            stride=stride,
-            fifo_depth=0,
-            alignment=alignment.value,
-            policy="cached-natural-order",
-            cycles=last_data_end,
-            useful_bytes=useful,
-            transferred_bytes=self.device.bytes_transferred,
-            startup_cycles=first_data or 0,
-            packets_issued=transactions * self.config.packets_per_cacheline,
-            bank_conflicts=conflicts,
-        )
+
+class _ProgramClock:
+    """Mutable program-order clock shared by the generator's closures."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0

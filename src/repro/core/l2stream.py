@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.errors import ConfigurationError, SchedulingError
+from repro.errors import ConfigurationError
 from repro.cache.model import CacheConfig, CacheModel
 from repro.cpu.kernels import Kernel
 from repro.cpu.processor import MATCHED_ACCESS_INTERVAL
@@ -36,6 +36,14 @@ from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig
 from repro.memsys.pagemanager import make_page_manager
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
+from repro.rdram.refresh import RefreshEngine
+from repro.sim.kernel import (
+    BackgroundComponent,
+    Component,
+    ResultBuilder,
+    Simulation,
+    TimedEvent,
+)
 from repro.sim.results import SimulationResult
 
 #: Concurrent line fetches in flight, matching the device pipeline.
@@ -64,6 +72,7 @@ class L2StreamingController:
         prefetch_window: Lines the controller may run ahead per
             read-stream (the FIFO-depth analogue).
         record_trace: Record device packets for auditing.
+        refresh: Run a background refresh engine alongside the run.
     """
 
     def __init__(
@@ -72,6 +81,7 @@ class L2StreamingController:
         l2_config: Optional[CacheConfig] = None,
         prefetch_window: int = 8,
         record_trace: bool = False,
+        refresh: bool = False,
     ) -> None:
         if prefetch_window < 1:
             raise ConfigurationError("prefetch window must be at least 1")
@@ -94,6 +104,8 @@ class L2StreamingController:
             page_manager=self.page_manager,
         )
         self.address_map = get_address_mapping(config)
+        self.refresh = refresh
+        self.refreshes_issued = 0
         self.l2: Optional[CacheModel] = None
         self.refetches = 0
         self.writebacks_streamed = 0
@@ -107,8 +119,19 @@ class L2StreamingController:
         stride: int = 1,
         alignment: Alignment = Alignment.STAGGERED,
         max_cycles: Optional[int] = None,
+        dense: bool = False,
     ) -> SimulationResult:
         """Execute one kernel, streaming through the L2.
+
+        Args:
+            kernel: The inner loop.
+            length: Vector length in elements.
+            stride: Stride in elements.
+            alignment: Vector base placement.
+            max_cycles: Watchdog limit; defaults to a bound derived
+                from the line traffic.
+            dense: Visit every cycle in the simulation kernel instead
+                of skipping ahead while waiting on line arrivals.
 
         Returns:
             The result; ``fifo_depth`` reports the prefetch window and
@@ -119,6 +142,7 @@ class L2StreamingController:
         self.l2 = CacheModel(self.l2_config)
         self.refetches = 0
         self.writebacks_streamed = 0
+        self.refreshes_issued = 0
         descriptors = place_streams(
             kernel.streams,
             self.config,
@@ -148,141 +172,33 @@ class L2StreamingController:
                     element_line_index=line_index,
                 )
             )
-
-        inflight: Dict[int, int] = {}  # line address -> arrival cycle
-        present: Set[int] = set()      # lines resident in L2
-        pending_writebacks: List[int] = []
-        access_schedule: List[Tuple[int, int]] = [
-            (stream_index, i)
-            for i in range(length)
-            for stream_index in range(len(streams))
-        ]
-        position = 0
-        next_cpu_attempt = 0
-        last_data_end = 0
-        first_retire: Optional[int] = None
-        last_retire = 0
-        transactions = 0
-        stall_cycles = 0
-        blocked_since: Optional[int] = None
         if max_cycles is None:
             max_cycles = 20_000 + 200 * sum(len(s.lines) for s in streams)
 
-        def issue_line(line_address: int, direction: Direction, cycle: int) -> int:
-            nonlocal last_data_end, transactions
-            bus_dir = (
-                BusDirection.READ
-                if direction is Direction.READ
-                else BusDirection.WRITE
-            )
-            packets = self.config.packets_per_cacheline
-            data_end = 0
-            for offset in range(packets):
-                location = self.address_map.decompose(
-                    line_address + offset * 16
-                )
-                outcome = self.device.issue_access(
-                    location.bank,
-                    location.row,
-                    location.column,
-                    cycle,
-                    bus_dir,
-                    precharge=(
-                        self.page_manager.plans_precharge
-                        and offset == packets - 1
-                    ),
-                )
-                data_end = outcome.access.data.end
-            transactions += 1
-            last_data_end = max(last_data_end, data_end)
-            return data_end
-
-        def insert_into_l2(line_address: int, dirty: bool) -> None:
-            """Line lands in the L2; the victim may stream out."""
-            outcome = self.l2.access(line_address, is_write=dirty)
-            present.add(line_address)
-            if outcome.evicted_line is not None:
-                present.discard(outcome.evicted_line)
-            if outcome.writeback_line is not None:
-                pending_writebacks.append(outcome.writeback_line)
-
-        cycle = 0
-        while True:
-            # Land arrivals.
-            for line_address, arrival in list(inflight.items()):
-                if arrival <= cycle:
-                    del inflight[line_address]
-                    insert_into_l2(line_address, dirty=False)
-            # Drain one pending writeback per cycle slot.
-            if pending_writebacks:
-                line_address = pending_writebacks.pop(0)
-                issue_line(line_address, Direction.WRITE, cycle)
-                self.writebacks_streamed += 1
-            # Prefetch round-robin: one line issue per cycle at most.
-            if len(inflight) < MAX_OUTSTANDING_LINES:
-                target = self._pick_prefetch(streams, position, access_schedule)
-                if target is not None:
-                    stream, line_address = target
-                    stream.prefetch_cursor += 1
-                    if line_address in present or line_address in inflight:
-                        pass  # already here (shared vector) — free
-                    else:
-                        arrival = issue_line(
-                            line_address, Direction.READ, cycle
-                        )
-                        inflight[line_address] = arrival
-            # CPU consumes in natural order.
-            if position < len(access_schedule) and cycle >= next_cpu_attempt:
-                stream_index, element = access_schedule[position]
-                stream = streams[stream_index]
-                line_address = stream.element_lines[element]
-                if stream.direction is Direction.WRITE:
-                    # Write-validate into the L2; no fetch needed.
-                    insert_into_l2(line_address, dirty=True)
-                    ready = True
-                elif line_address in present:
-                    self.l2.access(line_address, is_write=False)
-                    ready = True
-                elif line_address not in inflight:
-                    # Prematurely evicted (or never prefetched):
-                    # demand refetch — the cost the paper predicts.
-                    self.refetches += 1
-                    inflight[line_address] = issue_line(
-                        line_address, Direction.READ, cycle
-                    )
-                    ready = False
-                else:
-                    ready = False
-                if ready:
-                    if blocked_since is not None:
-                        stall_cycles += cycle - blocked_since
-                        blocked_since = None
-                    if first_retire is None:
-                        first_retire = cycle
-                    last_retire = cycle
-                    position += 1
-                    next_cpu_attempt = cycle + MATCHED_ACCESS_INTERVAL
-                elif blocked_since is None:
-                    blocked_since = cycle
-            if (
-                position >= len(access_schedule)
-                and not inflight
-                and not pending_writebacks
-            ):
-                break
-            cycle += 1
-            if cycle > max_cycles:
-                raise SchedulingError(
-                    f"L2 streaming run exceeded {max_cycles} cycles"
-                )
+        engine = _L2Run(self, streams, length)
+        components: List[Component] = []
+        if self.refresh:
+            refresh_engine = RefreshEngine(self.device)
+            components.append(BackgroundComponent(refresh_engine))
+        components.append(engine)
+        final_cycle = Simulation(
+            components,
+            done=lambda sim: engine.finished,
+            max_cycles=max_cycles,
+            label=f"l2-streaming: kernel={kernel.name}, "
+            f"org={self.config.describe()}",
+            dense=dense,
+        ).run()
+        if self.refresh:
+            self.refreshes_issued = refresh_engine.refreshes_issued
 
         # Stream out the remaining dirty lines.
         for line_address in self.l2.flush_dirty_lines():
-            issue_line(line_address, Direction.WRITE, cycle)
+            engine.issue_line(line_address, Direction.WRITE, final_cycle)
             self.writebacks_streamed += 1
 
         useful = len(descriptors) * length * ELEMENT_BYTES
-        return SimulationResult(
+        builder = ResultBuilder(
             kernel=kernel.name,
             organization=self.config.describe(),
             length=length,
@@ -290,13 +206,22 @@ class L2StreamingController:
             fifo_depth=self.prefetch_window,
             alignment=alignment.value,
             policy="l2-streaming",
-            cycles=max(last_data_end, last_retire),
+            first_data=engine.first_retire,
+            last_data_end=engine.last_data_end,
+            transactions=engine.transactions,
+            bank_conflicts=self.refetches,
+            page_hits=engine.page_hits,
+            page_misses=engine.page_misses,
+        )
+        return builder.build(
+            cycles=max(engine.last_data_end, engine.last_retire),
             useful_bytes=useful,
             transferred_bytes=self.device.bytes_transferred,
-            startup_cycles=first_retire or 0,
-            cpu_stall_cycles=stall_cycles,
-            packets_issued=transactions * self.config.packets_per_cacheline,
-            bank_conflicts=self.refetches,
+            cpu_stall_cycles=engine.stall_cycles,
+            packets_issued=(
+                engine.transactions * self.config.packets_per_cacheline
+            ),
+            refreshes=self.refreshes_issued,
         )
 
     # ------------------------------------------------------------------
@@ -321,3 +246,205 @@ class L2StreamingController:
             if stream.prefetch_cursor < consumed_lines + self.prefetch_window:
                 return stream, stream.lines[stream.prefetch_cursor]
         return None
+
+
+class _L2Run:
+    """One L2-streaming run as a simulation-kernel component.
+
+    Each visited cycle performs the controller's four phases in order:
+    land arrivals, drain one pending writeback, issue one prefetch,
+    and let the CPU consume.  Between visits the kernel skips ahead;
+    the only cycles that can change state are the next line arrival,
+    the cycle after one with immediate work still queued (another
+    writeback or an eligible prefetch), and the CPU's next attempt —
+    which, when the CPU is blocked, is the arrival it waits on.
+    """
+
+    def __init__(
+        self,
+        controller: L2StreamingController,
+        streams: List[_StreamState],
+        length: int,
+    ) -> None:
+        self.controller = controller
+        self.streams = streams
+        self.schedule: List[Tuple[int, int]] = [
+            (stream_index, i)
+            for i in range(length)
+            for stream_index in range(len(streams))
+        ]
+        self.inflight: Dict[int, int] = {}  # line address -> arrival cycle
+        self.present: Set[int] = set()      # lines resident in L2
+        self.pending_writebacks: List[int] = []
+        self.position = 0
+        self.next_cpu_attempt = 0
+        self.last_data_end = 0
+        self.first_retire: Optional[int] = None
+        self.last_retire = 0
+        self.transactions = 0
+        self.page_hits = 0
+        self.page_misses = 0
+        self.stall_cycles = 0
+        self._blocked_since: Optional[int] = None
+        self._blocked_on_arrival = False
+        self._last_cycle = -1
+
+    @property
+    def finished(self) -> bool:
+        """All accesses retired and no line traffic left in flight."""
+        return (
+            self.position >= len(self.schedule)
+            and not self.inflight
+            and not self.pending_writebacks
+        )
+
+    def issue_line(
+        self, line_address: int, direction: Direction, cycle: int
+    ) -> int:
+        """Issue one full-cacheline transfer; returns its data end."""
+        controller = self.controller
+        bus_dir = (
+            BusDirection.READ
+            if direction is Direction.READ
+            else BusDirection.WRITE
+        )
+        packets = controller.config.packets_per_cacheline
+        data_end = 0
+        for offset in range(packets):
+            location = controller.address_map.decompose(
+                line_address + offset * 16
+            )
+            outcome = controller.device.issue_access(
+                location.bank,
+                location.row,
+                location.column,
+                cycle,
+                bus_dir,
+                precharge=(
+                    controller.page_manager.plans_precharge
+                    and offset == packets - 1
+                ),
+            )
+            if outcome.page_hit:
+                self.page_hits += 1
+            else:
+                self.page_misses += 1
+            data_end = outcome.access.data.end
+        self.transactions += 1
+        self.last_data_end = max(self.last_data_end, data_end)
+        return data_end
+
+    def _insert_into_l2(self, line_address: int, dirty: bool) -> None:
+        """Line lands in the L2; the victim may stream out."""
+        l2 = self.controller.l2
+        assert l2 is not None
+        outcome = l2.access(line_address, is_write=dirty)
+        self.present.add(line_address)
+        if outcome.evicted_line is not None:
+            self.present.discard(outcome.evicted_line)
+        if outcome.writeback_line is not None:
+            self.pending_writebacks.append(outcome.writeback_line)
+
+    def tick(self, cycle: int) -> Tuple[TimedEvent, ...]:
+        controller = self.controller
+        self._last_cycle = cycle
+        # Land arrivals.
+        for line_address, arrival in list(self.inflight.items()):
+            if arrival <= cycle:
+                del self.inflight[line_address]
+                self._insert_into_l2(line_address, dirty=False)
+        # Drain one pending writeback per cycle slot.
+        if self.pending_writebacks:
+            line_address = self.pending_writebacks.pop(0)
+            self.issue_line(line_address, Direction.WRITE, cycle)
+            controller.writebacks_streamed += 1
+        # Prefetch round-robin: one line issue per cycle at most.
+        if len(self.inflight) < MAX_OUTSTANDING_LINES:
+            target = controller._pick_prefetch(
+                self.streams, self.position, self.schedule
+            )
+            if target is not None:
+                stream, line_address = target
+                stream.prefetch_cursor += 1
+                if (
+                    line_address in self.present
+                    or line_address in self.inflight
+                ):
+                    pass  # already here (shared vector) — free
+                else:
+                    arrival = self.issue_line(
+                        line_address, Direction.READ, cycle
+                    )
+                    self.inflight[line_address] = arrival
+        # CPU consumes in natural order.
+        if (
+            self.position < len(self.schedule)
+            and cycle >= self.next_cpu_attempt
+        ):
+            stream_index, element = self.schedule[self.position]
+            stream = self.streams[stream_index]
+            line_address = stream.element_lines[element]
+            if stream.direction is Direction.WRITE:
+                # Write-validate into the L2; no fetch needed.
+                self._insert_into_l2(line_address, dirty=True)
+                ready = True
+            elif line_address in self.present:
+                l2 = controller.l2
+                assert l2 is not None
+                l2.access(line_address, is_write=False)
+                ready = True
+            elif line_address not in self.inflight:
+                # Prematurely evicted (or never prefetched):
+                # demand refetch — the cost the paper predicts.
+                controller.refetches += 1
+                self.inflight[line_address] = self.issue_line(
+                    line_address, Direction.READ, cycle
+                )
+                ready = False
+            else:
+                ready = False
+            if ready:
+                if self._blocked_since is not None:
+                    self.stall_cycles += cycle - self._blocked_since
+                    self._blocked_since = None
+                if self.first_retire is None:
+                    self.first_retire = cycle
+                self.last_retire = cycle
+                self.position += 1
+                self.next_cpu_attempt = cycle + MATCHED_ACCESS_INTERVAL
+            elif self._blocked_since is None:
+                self._blocked_since = cycle
+            self._blocked_on_arrival = not ready
+        return ()
+
+    @property
+    def next_action_cycle(self) -> Optional[int]:
+        """Earliest cycle at which this run can change state again.
+
+        While the CPU waits on a line it (or a demand refetch) put in
+        flight, its re-attempt is covered by that line's arrival
+        cycle; a queued writeback or an eligible prefetch makes the
+        very next cycle interesting because each is throttled to one
+        per cycle.
+        """
+        candidates: List[int] = []
+        if self.inflight:
+            candidates.append(min(self.inflight.values()))
+        if self.pending_writebacks:
+            candidates.append(self._last_cycle + 1)
+        elif len(self.inflight) < MAX_OUTSTANDING_LINES:
+            if (
+                self.controller._pick_prefetch(
+                    self.streams, self.position, self.schedule
+                )
+                is not None
+            ):
+                candidates.append(self._last_cycle + 1)
+        if (
+            self.position < len(self.schedule)
+            and not self._blocked_on_arrival
+        ):
+            candidates.append(self.next_cpu_attempt)
+        if not candidates:
+            return None
+        return min(candidates)

@@ -18,7 +18,7 @@ from typing import Iterator, List, Optional, Sequence
 from repro.errors import StreamError
 from repro.cpu.streams import StreamDescriptor
 from repro.core.fifo import StreamFifo, build_access_units
-from repro.memsys.address import get_address_mapping
+from repro.memsys.address import AddressMapping, get_address_mapping
 from repro.memsys.config import MemorySystemConfig
 from repro.memsys.pagemanager import PageManager, make_page_manager
 from repro.obs.core import Instrumentation
@@ -47,15 +47,17 @@ class StreamBufferUnit:
         config: MemorySystemConfig,
         fifo_depth: int,
         page_manager: Optional[PageManager] = None,
+        address_map: Optional[AddressMapping] = None,
     ) -> "StreamBufferUnit":
         """Build FIFOs and access plans for placed streams.
 
-        ``page_manager`` lets the caller share one manager instance
-        between the access plans and the memory model (as
-        :func:`~repro.core.smc.build_smc_system` does); by default a
-        fresh manager is made from the config's registry name.
+        ``page_manager`` and ``address_map`` let the caller share one
+        instance of each between the access plans and the memory model
+        (as :func:`~repro.core.smc.build_smc_system` does); by default
+        fresh ones are made from the config's registry names.
         """
-        address_map = get_address_mapping(config)
+        if address_map is None:
+            address_map = get_address_mapping(config)
         manager = (
             page_manager if page_manager is not None
             else make_page_manager(config)

@@ -16,6 +16,7 @@ from repro.cpu.streams import Alignment, StreamDescriptor, place_streams
 from repro.core.msu import MemorySchedulingUnit
 from repro.core.policies import RoundRobinPolicy, SchedulingPolicy
 from repro.core.sbu import StreamBufferUnit
+from repro.memsys.address import AddressMapping, get_address_mapping
 from repro.memsys.config import MemorySystemConfig
 from repro.memsys.pagemanager import make_page_manager
 from repro.rdram.channel import make_memory
@@ -35,6 +36,8 @@ class SmcSystem:
         sbu: Stream buffer unit (FIFOs).
         msu: Memory scheduling unit.
         processor: Natural-order element access generator.
+        address_map: The address mapping the access plans were built
+            with (shared, possibly a registry override).
     """
 
     kernel: Kernel
@@ -45,6 +48,7 @@ class SmcSystem:
     msu: MemorySchedulingUnit
     processor: StreamProcessor
     refresh: Optional[RefreshEngine] = None
+    address_map: Optional[AddressMapping] = None
 
 
 def build_smc_system(
@@ -95,6 +99,7 @@ def build_smc_system(
     else:
         placed = list(descriptors)
     page_manager = make_page_manager(config)
+    address_map = get_address_mapping(config)
     device = make_memory(
         timing=config.timing,
         geometry=config.geometry,
@@ -102,7 +107,11 @@ def build_smc_system(
         page_manager=page_manager,
     )
     sbu = StreamBufferUnit.from_descriptors(
-        placed, config, fifo_depth, page_manager=page_manager
+        placed,
+        config,
+        fifo_depth,
+        page_manager=page_manager,
+        address_map=address_map,
     )
     msu = MemorySchedulingUnit(device, sbu, policy or RoundRobinPolicy())
     processor = StreamProcessor(kernel, length, access_interval=access_interval)
@@ -115,4 +124,5 @@ def build_smc_system(
         msu=msu,
         processor=processor,
         refresh=RefreshEngine(device) if refresh else None,
+        address_map=address_map,
     )

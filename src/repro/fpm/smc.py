@@ -10,13 +10,14 @@ FIFO depth, turning almost every access into a page hit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.cpu.kernels import Kernel
 from repro.cpu.streams import Alignment, StreamDescriptor
 from repro.fpm.device import FpmGeometry, FpmMemorySystem
 from repro.memsys.config import ELEMENT_BYTES
+from repro.sim.kernel import Simulation, TransactionPump
 
 
 @dataclass(frozen=True)
@@ -107,23 +108,28 @@ def run_fpm(
     memory = memory or FpmMemorySystem()
     memory.reset()
     descriptors = _place(kernel, memory.geometry, length, stride, alignment)
-    now = 0.0
     if scheme == "natural-order":
-        for index in range(length):
-            for descriptor in descriptors:
-                now = memory.access(descriptor.element_address(index), now)
+        addresses = (
+            descriptor.element_address(index)
+            for index in range(length)
+            for descriptor in descriptors
+        )
     else:
-        cursors = [0] * len(descriptors)
-        while any(c < length for c in cursors):
-            for which, descriptor in enumerate(descriptors):
-                burst_end = min(cursors[which] + fifo_depth, length)
-                while cursors[which] < burst_end:
-                    now = memory.access(
-                        descriptor.element_address(cursors[which]), now
-                    )
-                    cursors[which] += 1
+        addresses = _smc_access_order(descriptors, length, fifo_depth)
+    # The FPM memory is serial (one access at a time, float-ns clock),
+    # so each simulation-kernel step is simply the next access; the
+    # real elapsed time accumulates inside the memory model.
+    elapsed = _Elapsed()
+    pump = TransactionPump(_access_steps(memory, addresses, elapsed))
+    Simulation(
+        [pump],
+        done=lambda sim: pump.done,
+        max_cycles=length * max(len(descriptors), 1) + 16,
+        label=f"fpm-{scheme}: kernel={kernel.name}",
+    ).run()
     accesses = memory.accesses
     attainable_ns = accesses * memory.timing.t_pc_ns
+    now = elapsed.ns
     return FpmResult(
         kernel=kernel.name,
         scheme=scheme,
@@ -132,3 +138,34 @@ def run_fpm(
         page_hit_rate=memory.page_hits / accesses if accesses else 0.0,
         percent_of_attainable=100.0 * attainable_ns / now if now else 0.0,
     )
+
+
+class _Elapsed:
+    """Mutable float-ns clock shared with the access generator."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self) -> None:
+        self.ns = 0.0
+
+
+def _smc_access_order(
+    descriptors: List[StreamDescriptor], length: int, fifo_depth: int
+) -> Iterator[int]:
+    """Addresses in the MSU's round-robin burst order."""
+    cursors = [0] * len(descriptors)
+    while any(c < length for c in cursors):
+        for which, descriptor in enumerate(descriptors):
+            burst_end = min(cursors[which] + fifo_depth, length)
+            while cursors[which] < burst_end:
+                yield descriptor.element_address(cursors[which])
+                cursors[which] += 1
+
+
+def _access_steps(
+    memory: FpmMemorySystem, addresses: Iterator[int], elapsed: _Elapsed
+) -> Iterator[int]:
+    """One simulation-kernel step per FPM access, in order."""
+    for step, address in enumerate(addresses):
+        yield step
+        elapsed.ns = memory.access(address, elapsed.ns)

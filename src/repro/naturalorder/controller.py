@@ -26,7 +26,7 @@ The model follows Figure 5's conventions:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.cpu.kernels import Kernel
 from repro.cpu.streams import (
@@ -41,6 +41,14 @@ from repro.memsys.pagemanager import make_page_manager
 from repro.obs.core import Instrumentation
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
+from repro.rdram.refresh import RefreshEngine
+from repro.sim.kernel import (
+    BackgroundComponent,
+    Component,
+    ResultBuilder,
+    Simulation,
+    TransactionPump,
+)
 from repro.sim.results import SimulationResult
 
 #: The Direct RDRAM's pipelined microarchitecture "supports up to four
@@ -56,10 +64,19 @@ class NaturalOrderController:
             policy and PI with open-page, as in the paper, but any
             pairing given in the config is honored.
         record_trace: Record the device packet trace for auditing.
+        refresh: Run a background :class:`RefreshEngine` alongside the
+            transaction stream (the paper ignores refresh; this
+            quantifies that assumption for the baseline too).
     """
 
+    #: Result ``policy`` name reported by this controller.
+    POLICY = "natural-order"
+
     def __init__(
-        self, config: MemorySystemConfig, record_trace: bool = False
+        self,
+        config: MemorySystemConfig,
+        record_trace: bool = False,
+        refresh: bool = False,
     ) -> None:
         self.config = config
         self.page_manager = make_page_manager(config)
@@ -70,6 +87,44 @@ class NaturalOrderController:
             page_manager=self.page_manager,
         )
         self.address_map = get_address_mapping(config)
+        self.refresh = refresh
+        self.refreshes_issued = 0
+
+    def _simulate(
+        self,
+        steps: Iterator[int],
+        *,
+        max_steps: int,
+        label: str,
+        dense: bool,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        """Drive ``steps`` through the shared simulation kernel.
+
+        One kernel run per controller run: an optional background
+        refresh engine plus a :class:`TransactionPump` resuming the
+        controller's transaction generator at each start cycle.
+        """
+        self.refreshes_issued = 0
+        components: List[Component] = []
+        if self.refresh:
+            engine = RefreshEngine(self.device)
+            components.append(BackgroundComponent(engine))
+        pump = TransactionPump(
+            steps,
+            on_attach_obs=lambda o: setattr(self.device, "obs", o),
+        )
+        components.append(pump)
+        Simulation(
+            components,
+            done=lambda sim: pump.done,
+            max_cycles=20_000 + 500 * max(max_steps, 1),
+            label=label,
+            dense=dense,
+            obs=obs,
+        ).run()
+        if self.refresh:
+            self.refreshes_issued = engine.refreshes_issued
 
     def run(
         self,
@@ -79,6 +134,7 @@ class NaturalOrderController:
         alignment: Alignment = Alignment.STAGGERED,
         descriptors: Optional[List[StreamDescriptor]] = None,
         obs: Optional[Instrumentation] = None,
+        dense: bool = False,
     ) -> SimulationResult:
         """Execute one kernel and report effective bandwidth.
 
@@ -91,6 +147,9 @@ class NaturalOrderController:
             obs: Optional instrumentation; records one "controller"
                 span per cacheline transaction plus the device-level
                 gaps and counters (see :mod:`repro.obs`).
+            dense: Visit every cycle in the simulation kernel instead
+                of skipping to the next transaction start (the
+                property tests assert both modes agree).
 
         Returns:
             The result; ``useful_bytes`` counts stream elements only,
@@ -98,7 +157,6 @@ class NaturalOrderController:
             though whole lines move on the bus.
         """
         self.device.reset()
-        self.device.obs = obs
         if descriptors is None:
             descriptors = place_streams(
                 kernel.streams,
@@ -107,8 +165,62 @@ class NaturalOrderController:
                 stride=stride,
                 alignment=alignment,
             )
-        line_bytes = self.config.cacheline_bytes
+        builder = ResultBuilder(
+            kernel=kernel.name,
+            organization=self.config.describe(),
+            length=length,
+            stride=stride,
+            fifo_depth=0,
+            alignment=alignment.value,
+            policy=self.POLICY,
+        )
+        self._simulate(
+            self._transaction_steps(length, descriptors, builder, obs),
+            max_steps=length * len(descriptors),
+            label=f"{self.POLICY}: kernel={kernel.name}, "
+            f"org={self.config.describe()}",
+            dense=dense,
+            obs=obs,
+        )
 
+        useful = len(descriptors) * length * ELEMENT_BYTES
+        last_data_end = builder.last_data_end
+        if obs is not None:
+            self.device.finish_observation(last_data_end)
+            obs.meta.update(
+                kernel=kernel.name,
+                organization=self.config.describe(),
+                policy=self.POLICY,
+                cycles=last_data_end,
+                last_data_end=last_data_end,
+                t_pack=self.config.timing.t_pack,
+                t_rw=self.config.timing.t_rw,
+            )
+            self.device.obs = None
+        return builder.build(
+            cycles=last_data_end,
+            useful_bytes=useful,
+            transferred_bytes=self.device.bytes_transferred,
+            packets_issued=(
+                builder.transactions * self.config.packets_per_cacheline
+            ),
+            refreshes=self.refreshes_issued,
+        )
+
+    def _transaction_steps(
+        self,
+        length: int,
+        descriptors: List[StreamDescriptor],
+        builder: ResultBuilder,
+        obs: Optional[Instrumentation],
+    ) -> Iterator[int]:
+        """Generate the program-order cacheline transactions.
+
+        Yields each transaction's start lower bound; the kernel's
+        :class:`TransactionPump` resumes the generator once the clock
+        reaches it, and the issue happens here at the stored bound.
+        """
+        line_bytes = self.config.cacheline_bytes
         current_line: Dict[str, Optional[int]] = {
             d.name: None for d in descriptors
         }
@@ -117,12 +229,6 @@ class NaturalOrderController:
         line_first_data: Dict[str, int] = {d.name: 0 for d in descriptors}
         outstanding: Deque[int] = deque()
         program_clock = 0
-        last_data_end = 0
-        first_data: Optional[int] = None
-        transactions = 0
-        conflicts = 0
-        page_hits = 0
-        page_misses = 0
 
         for index in range(length):
             for descriptor in descriptors:
@@ -144,14 +250,15 @@ class NaturalOrderController:
                     start_at = max(start_at, dependence)
                 if len(outstanding) >= MAX_OUTSTANDING:
                     start_at = max(start_at, outstanding.popleft())
+                yield start_at
                 (first_cmd, first_arrival, data_end, had_conflict,
                  hits, misses) = self._issue_line(
                     line * line_bytes, descriptor.direction, start_at
                 )
-                transactions += 1
-                conflicts += int(had_conflict)
-                page_hits += hits
-                page_misses += misses
+                builder.transactions += 1
+                builder.bank_conflicts += int(had_conflict)
+                builder.page_hits += hits
+                builder.page_misses += misses
                 if obs is not None:
                     obs.counters.incr("controller.transactions")
                     if had_conflict:
@@ -165,43 +272,11 @@ class NaturalOrderController:
                         line=line,
                     )
                 program_clock = max(program_clock, first_cmd)
-                last_data_end = max(last_data_end, data_end)
+                builder.note_data_end(data_end)
                 if descriptor.direction is Direction.READ:
                     line_first_data[descriptor.name] = first_arrival
-                    if first_data is None:
-                        first_data = first_arrival
+                    builder.note_first_data(first_arrival)
                 outstanding.append(data_end)
-
-        useful = len(descriptors) * length * ELEMENT_BYTES
-        if obs is not None:
-            self.device.finish_observation(last_data_end)
-            obs.meta.update(
-                kernel=kernel.name,
-                organization=self.config.describe(),
-                policy="natural-order",
-                cycles=last_data_end,
-                last_data_end=last_data_end,
-                t_pack=self.config.timing.t_pack,
-                t_rw=self.config.timing.t_rw,
-            )
-            self.device.obs = None
-        return SimulationResult(
-            kernel=kernel.name,
-            organization=self.config.describe(),
-            length=length,
-            stride=stride,
-            fifo_depth=0,
-            alignment=alignment.value,
-            policy="natural-order",
-            cycles=last_data_end,
-            useful_bytes=useful,
-            transferred_bytes=self.device.bytes_transferred,
-            startup_cycles=first_data or 0,
-            packets_issued=transactions * self.config.packets_per_cacheline,
-            bank_conflicts=conflicts,
-            page_hits=page_hits,
-            page_misses=page_misses,
-        )
 
     def _issue_line(
         self,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Iterator, List
 
 from repro.errors import ConfigurationError
 from repro.memsys.address import get_address_mapping
@@ -27,6 +27,14 @@ from repro.memsys.pagemanager import make_page_manager
 from repro.naturalorder.controller import MAX_OUTSTANDING
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
+from repro.rdram.refresh import RefreshEngine
+from repro.sim.kernel import (
+    BackgroundComponent,
+    Component,
+    ResultBuilder,
+    Simulation,
+    TransactionPump,
+)
 from repro.sim.results import SimulationResult
 
 
@@ -38,6 +46,8 @@ class RandomAccessDriver:
         queue_depth: Maximum outstanding transactions; defaults to the
             device pipeline depth, scaled by the experiment if needed.
         record_trace: Record packets for auditing.
+        refresh: Run a background refresh engine alongside the
+            transaction stream.
     """
 
     def __init__(
@@ -45,6 +55,7 @@ class RandomAccessDriver:
         config: MemorySystemConfig,
         queue_depth: int = MAX_OUTSTANDING,
         record_trace: bool = False,
+        refresh: bool = False,
     ) -> None:
         if queue_depth < 1:
             raise ConfigurationError("queue depth must be at least 1")
@@ -58,12 +69,15 @@ class RandomAccessDriver:
             page_manager=self.page_manager,
         )
         self.address_map = get_address_mapping(config)
+        self.refresh = refresh
+        self.refreshes_issued = 0
 
     def run(
         self,
         num_transactions: int,
         write_fraction: float = 0.0,
         seed: int = 1,
+        dense: bool = False,
     ) -> SimulationResult:
         """Execute random cacheline transactions and report bandwidth.
 
@@ -71,6 +85,8 @@ class RandomAccessDriver:
             num_transactions: Cacheline transactions to issue.
             write_fraction: Fraction of transactions that are writes.
             seed: PRNG seed (runs are deterministic per seed).
+            dense: Visit every cycle in the simulation kernel instead
+                of skipping to the next transaction start.
 
         Returns:
             A result whose ``percent_of_peak`` is the channel
@@ -79,15 +95,69 @@ class RandomAccessDriver:
         if not 0.0 <= write_fraction <= 1.0:
             raise ConfigurationError("write_fraction must be in [0, 1]")
         self.device.reset()
+        self.refreshes_issued = 0
+        builder = ResultBuilder(
+            kernel="random-access",
+            organization=self.config.describe(),
+            length=num_transactions,
+            stride=1,
+            fifo_depth=0,
+            alignment="random",
+            policy=f"random-q{self.queue_depth}",
+        )
+        components: List[Component] = []
+        if self.refresh:
+            engine = RefreshEngine(self.device)
+            components.append(BackgroundComponent(engine))
+        pump = TransactionPump(
+            self._transaction_steps(
+                num_transactions, write_fraction, seed, builder
+            )
+        )
+        components.append(pump)
+        Simulation(
+            components,
+            done=lambda sim: pump.done,
+            max_cycles=20_000 + 500 * max(num_transactions, 1),
+            label=(
+                f"random-q{self.queue_depth}: "
+                f"org={self.config.describe()}"
+            ),
+            dense=dense,
+        ).run()
+        if self.refresh:
+            self.refreshes_issued = engine.refreshes_issued
+
+        moved = self.device.bytes_transferred
+        return builder.build(
+            cycles=builder.last_data_end,
+            useful_bytes=moved,
+            transferred_bytes=moved,
+            packets_issued=(
+                num_transactions * self.config.packets_per_cacheline
+            ),
+            refreshes=self.refreshes_issued,
+        )
+
+    def _transaction_steps(
+        self,
+        num_transactions: int,
+        write_fraction: float,
+        seed: int,
+        builder: ResultBuilder,
+    ) -> Iterator[int]:
+        """Generate the random transaction stream.
+
+        PRNG draws happen between yields in the exact order the
+        original loop made them (line, then direction, per
+        transaction), so results are reproducible per seed regardless
+        of how the kernel paces the pump.
+        """
         rng = random.Random(seed)
         line_bytes = self.config.cacheline_bytes
         total_lines = self.config.geometry.capacity_bytes // line_bytes
         packets = self.config.packets_per_cacheline
-
         outstanding: Deque[int] = deque()
-        last_data_end = 0
-        first_data: Optional[int] = None
-        conflicts = 0
 
         for __ in range(num_transactions):
             line = rng.randrange(total_lines)
@@ -99,6 +169,8 @@ class RandomAccessDriver:
             start_at = 0
             if len(outstanding) >= self.queue_depth:
                 start_at = outstanding.popleft()
+            yield start_at
+            data_end = 0
             for offset in range(packets):
                 location = self.address_map.decompose(
                     line * line_bytes + offset * 16
@@ -114,25 +186,9 @@ class RandomAccessDriver:
                         and offset == packets - 1
                     ),
                 )
-                conflicts += outcome.conflicts
-                if first_data is None:
-                    first_data = outcome.access.data.start
-                last_data_end = outcome.access.data.end
-            outstanding.append(last_data_end)
-
-        moved = self.device.bytes_transferred
-        return SimulationResult(
-            kernel="random-access",
-            organization=self.config.describe(),
-            length=num_transactions,
-            stride=1,
-            fifo_depth=0,
-            alignment="random",
-            policy=f"random-q{self.queue_depth}",
-            cycles=last_data_end,
-            useful_bytes=moved,
-            transferred_bytes=moved,
-            startup_cycles=first_data or 0,
-            packets_issued=num_transactions * packets,
-            bank_conflicts=conflicts,
-        )
+                builder.bank_conflicts += outcome.conflicts
+                builder.note_first_data(outcome.access.data.start)
+                data_end = outcome.access.data.end
+            builder.transactions += 1
+            builder.note_data_end(data_end)
+            outstanding.append(data_end)

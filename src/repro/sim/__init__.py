@@ -1,6 +1,16 @@
-"""Simulation engine, runner API, and result records."""
+"""Simulation kernel, engine wiring, runner API, and result records."""
 
 from repro.sim.engine import run_smc
+from repro.sim.kernel import (
+    BackgroundComponent,
+    Component,
+    EventScheduler,
+    ResultBuilder,
+    SimClock,
+    Simulation,
+    TimedEvent,
+    TransactionPump,
+)
 from repro.sim.metrics import BankStats, TraceMetrics, bank_imbalance, measure_trace
 from repro.sim.results import SimulationResult
 from repro.sim.runner import (
@@ -15,6 +25,14 @@ from repro.sim.sweep import Sweep, pivot, sweep
 
 __all__ = [
     "run_smc",
+    "BackgroundComponent",
+    "Component",
+    "EventScheduler",
+    "ResultBuilder",
+    "SimClock",
+    "Simulation",
+    "TimedEvent",
+    "TransactionPump",
     "BankStats",
     "TraceMetrics",
     "bank_imbalance",

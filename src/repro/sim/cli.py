@@ -120,16 +120,42 @@ def build_parser() -> argparse.ArgumentParser:
                         help="content-addressed result cache directory; "
                              "plain (trace-free, uninstrumented) runs "
                              "reuse previously simulated results")
+    parser.add_argument("--profile", type=int, nargs="?", const=20,
+                        default=None, metavar="N",
+                        help="run under cProfile and print the top N "
+                             "functions by cumulative time (default 20)")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.profile is not None:
+            return _run_profiled(args)
         return _run(args)
     except ReproError as error:
         sys.stderr.write(f"error: {error}\n")
         return 1
+
+
+def _run_profiled(args) -> int:
+    """Run the command under cProfile and print the hot spots.
+
+    The profile covers the whole command (system construction,
+    simulation, and reporting), so kernel hot spots show up with their
+    true share of the wall-clock.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(_run, args)
+    finally:
+        print()
+        print(f"profile (top {args.profile} by cumulative time):")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(args.profile)
 
 
 def _require_trace(trace, flag: str):

@@ -1,33 +1,113 @@
-"""Cycle-based functional simulation engine for SMC systems.
+"""SMC wiring over the shared discrete-event simulation kernel.
 
-The engine advances a global interface-clock cycle counter and, at
-each visited cycle, (1) lands read DATA packets that completed into
-their FIFOs, (2) lets the MSU make a scheduling decision, and (3) lets
-the processor retire one element access.  Between interesting cycles
-the engine skips ahead: every state change happens either at a queued
-data-arrival event, at the MSU's next decision cycle, or at the
-processor's next paced attempt, so visiting only those cycles is
-exact.  Components that are blocked are re-woken by the state changes
-that can unblock them.
+The engine assembles the Figure 3 component graph — MSU, SBU,
+processor, optional refresh engine — into :class:`Component` adapters
+and hands them to :class:`repro.sim.kernel.Simulation`, which owns the
+cycle loop: at each visited cycle it (1) lands read DATA packets that
+completed into their FIFOs, (2) lets the MSU make a scheduling
+decision, and (3) lets the processor retire one element access.
+Between interesting cycles the kernel skips ahead; components that are
+blocked are re-woken by the state changes that can unblock them.
 
 The simulation ends when the processor has retired every access, all
-FIFOs have drained, and no data is in flight.  A watchdog raises
-:class:`~repro.errors.SchedulingError` if the system stops making
-progress (which would indicate a controller bug, not a slow run).
+FIFOs have drained, and no data is in flight.  The kernel's watchdog
+raises :class:`~repro.errors.SchedulingError` if the system stops
+making progress (which would indicate a controller bug, not a slow
+run).
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import List, Optional, Tuple
 
-from repro.errors import SchedulingError
-from repro.core.msu import IDLE
+from repro.core.msu import ArrivalEvent, IDLE, MemorySchedulingUnit
+from repro.core.sbu import StreamBufferUnit
 from repro.core.smc import SmcSystem
+from repro.cpu.processor import StreamProcessor
 from repro.memsys.config import ELEMENT_BYTES
 from repro.obs.core import Instrumentation
 from repro.rdram.audit import audit_trace
+from repro.sim.kernel import (
+    BackgroundComponent,
+    Component,
+    ResultBuilder,
+    Simulation,
+)
 from repro.sim.results import SimulationResult
+
+
+class _WakeFlag:
+    """Arrival/refresh activity that must re-arm an idle MSU."""
+
+    __slots__ = ("fired",)
+
+    def __init__(self) -> None:
+        self.fired = False
+
+
+class _MsuComponent:
+    """The MSU's decision step, plus its wake protocol.
+
+    A data arrival or a refresh perturbation earlier in the same cycle
+    re-arms an idle MSU (its next access may need to re-activate a
+    bank the refresh closed, or a pop may have freed FIFO space).
+    """
+
+    def __init__(self, system: SmcSystem, wake: _WakeFlag) -> None:
+        self.system = system
+        self.msu = system.msu
+        self._wake = wake
+
+    def tick(self, cycle: int) -> Tuple[ArrivalEvent, ...]:
+        if self._wake.fired:
+            self._wake.fired = False
+            self.msu.wake(cycle)
+        return self.msu.tick(cycle)
+
+    @property
+    def next_action_cycle(self) -> Optional[int]:
+        decision = self.msu.next_decision
+        return decision if decision < IDLE else None
+
+    def attach_obs(self, obs: Instrumentation) -> None:
+        self.system.device.obs = obs
+        self.msu.obs = obs
+        self.system.sbu.attach_obs(obs)
+
+    def finish_observation(self, end_cycle: int) -> None:
+        self.msu.finish_observation(end_cycle)
+        self.system.device.finish_observation(end_cycle)
+
+
+class _CpuComponent:
+    """The processor's retire step.
+
+    A pop frees read-FIFO space and a push feeds a write FIFO, either
+    of which can make an idle MSU's FIFOs serviceable again, so a
+    retire wakes the MSU for the following cycle.
+    """
+
+    def __init__(
+        self,
+        processor: StreamProcessor,
+        sbu: StreamBufferUnit,
+        msu: MemorySchedulingUnit,
+    ) -> None:
+        self.processor = processor
+        self.sbu = sbu
+        self.msu = msu
+
+    def tick(self, cycle: int) -> Tuple[ArrivalEvent, ...]:
+        if self.processor.tick(cycle, self.sbu):
+            self.msu.wake(cycle + 1)
+        return ()
+
+    @property
+    def next_action_cycle(self) -> Optional[int]:
+        return self.processor.next_attempt_cycle
+
+    def attach_obs(self, obs: Instrumentation) -> None:
+        self.processor.obs = obs
 
 
 def run_smc(
@@ -65,51 +145,46 @@ def run_smc(
     processor = system.processor
     msu = system.msu
     sbu = system.sbu
-    if obs is not None:
-        _attach_instrumentation(system, obs)
     total_units = sum(len(fifo.units) for fifo in sbu)
     if max_cycles is None:
         max_cycles = 10_000 + 100 * total_units
 
-    heap: List[Tuple[int, int, int]] = []
-    cycle = 0
-    while True:
-        if obs is not None:
-            obs.now = cycle
-        fired = False
-        while heap and heap[0][0] <= cycle:
-            __, fifo_index, elements = heapq.heappop(heap)
-            sbu[fifo_index].note_arrival(elements)
-            fired = True
-        if system.refresh is not None and system.refresh.tick(cycle):
-            # A refresh stole the row bus or closed a page; the MSU's
-            # next access may need to re-activate.
-            fired = True
-        if fired:
-            msu.wake(cycle)
-        for event in msu.tick(cycle):
-            heapq.heappush(heap, (event.cycle, event.fifo_index, event.elements))
-        if processor.tick(cycle, sbu):
-            # A pop freed read-FIFO space or a push fed a write FIFO:
-            # an idle MSU may now have a serviceable FIFO.
-            msu.wake(cycle + 1)
-        if processor.done and sbu.all_drained and not heap:
-            break
-        if dense:
-            _next_cycle(cycle, heap, msu, processor, system.refresh)
-            cycle += 1
-        else:
-            cycle = _next_cycle(cycle, heap, msu, processor, system.refresh)
-        if cycle > max_cycles:
-            raise SchedulingError(
-                f"simulation exceeded {max_cycles} cycles "
-                f"(kernel={system.kernel.name}, "
-                f"org={system.config.describe()})"
-            )
+    wake = _WakeFlag()
+    components: List[Component] = []
+    if system.refresh is not None:
+        def _refresh_fired() -> None:
+            wake.fired = True
+
+        components.append(
+            BackgroundComponent(system.refresh, on_fire=_refresh_fired)
+        )
+    components.append(_MsuComponent(system, wake))
+    components.append(_CpuComponent(processor, sbu, msu))
+
+    def deliver(event: ArrivalEvent) -> None:
+        sbu[event.fifo_index].note_arrival(event.elements)
+        wake.fired = True
+
+    simulation = Simulation(
+        components,
+        done=lambda sim: (
+            processor.done and sbu.all_drained and sim.scheduler.empty
+        ),
+        deliver=deliver,
+        label=(
+            f"kernel={system.kernel.name}, "
+            f"org={system.config.describe()}"
+        ),
+        max_cycles=max_cycles,
+        dense=dense,
+        obs=obs,
+    )
+    simulation.run()
 
     end_cycle = max(msu.last_data_end, (processor.last_retire_cycle or 0))
     if obs is not None:
-        _finish_instrumentation(system, obs, end_cycle)
+        simulation.finish(end_cycle)
+        _record_meta(system, obs, end_cycle)
     if audit:
         geometry = system.config.geometry
         audit_trace(
@@ -122,7 +197,7 @@ def run_smc(
             ).num_banks,
         )
     useful = sum(fifo.descriptor.length for fifo in sbu) * ELEMENT_BYTES
-    return SimulationResult(
+    builder = ResultBuilder(
         kernel=system.kernel.name,
         organization=system.config.describe(),
         length=system.descriptors[0].length,
@@ -130,16 +205,19 @@ def run_smc(
         fifo_depth=sbu[0].depth,
         alignment=_alignment_name(system),
         policy=msu.policy.name,
-        cycles=end_cycle,
-        useful_bytes=useful,
-        transferred_bytes=system.device.bytes_transferred,
-        startup_cycles=processor.first_element_cycle or 0,
-        cpu_stall_cycles=processor.stall_cycles,
+        first_data=processor.first_element_cycle,
+        last_data_end=msu.last_data_end,
         packets_issued=msu.packets_issued,
         activations=msu.activations,
         bank_conflicts=msu.bank_conflicts,
         page_hits=msu.page_hits,
         page_misses=msu.page_misses,
+    )
+    return builder.build(
+        cycles=end_cycle,
+        useful_bytes=useful,
+        transferred_bytes=system.device.bytes_transferred,
+        cpu_stall_cycles=processor.stall_cycles,
         fifo_switches=msu.fifo_switches,
         speculative_activations=msu.speculative_activations,
         refreshes=(
@@ -148,22 +226,10 @@ def run_smc(
     )
 
 
-def _attach_instrumentation(system: SmcSystem, obs: Instrumentation) -> None:
-    """Point every component's ``obs`` attribute at one recorder."""
-    system.device.obs = obs
-    system.msu.obs = obs
-    system.processor.obs = obs
-    if system.refresh is not None:
-        system.refresh.obs = obs
-    system.sbu.attach_obs(obs)
-
-
-def _finish_instrumentation(
+def _record_meta(
     system: SmcSystem, obs: Instrumentation, end_cycle: int
 ) -> None:
-    """Close open spans and record the run metadata attribution needs."""
-    system.msu.finish_observation(end_cycle)
-    system.device.finish_observation(end_cycle)
+    """Record the run metadata stall attribution needs."""
     timing = system.config.timing
     obs.meta.update(
         kernel=system.kernel.name,
@@ -176,31 +242,17 @@ def _finish_instrumentation(
     )
 
 
-def _next_cycle(cycle, heap, msu, processor, refresh=None) -> int:
-    """The next cycle at which any component can change state."""
-    candidates = []
-    if heap:
-        candidates.append(heap[0][0])
-    if msu.next_decision < IDLE:
-        candidates.append(msu.next_decision)
-    attempt = processor.next_attempt_cycle
-    if attempt is not None:
-        candidates.append(attempt)
-    if not candidates:
-        # A pending refresh does not count as forward progress for the
-        # computation itself, so it cannot break a deadlock.
-        raise SchedulingError(
-            "deadlock: processor blocked, MSU idle, no data in flight"
-        )
-    if refresh is not None:
-        candidates.append(refresh.next_action_cycle)
-    return max(cycle + 1, min(candidates))
-
-
 def _alignment_name(system: SmcSystem) -> str:
-    """Classify the actual placement by inspecting base banks."""
-    from repro.memsys.address import AddressMap
+    """Classify the actual placement by inspecting base banks.
 
-    address_map = AddressMap(system.config)
+    Uses the address mapping the system was built with (which may be a
+    registry override like ``swizzle``), not a freshly derived one, so
+    the classification reflects the banks the run actually touched.
+    """
+    address_map = system.address_map
+    if address_map is None:  # hand-assembled SmcSystem
+        from repro.memsys.address import get_address_mapping
+
+        address_map = get_address_mapping(system.config)
     banks = {address_map.bank_of(d.base) for d in system.descriptors}
     return "aligned" if len(banks) == 1 else "staggered"

@@ -12,11 +12,14 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.analytic.smc import smc_bound
+from repro.cache.controller import CachedNaturalOrderController
+from repro.core.l2stream import L2StreamingController
 from repro.core.smc import build_smc_system
 from repro.cpu.kernels import KERNELS
 from repro.cpu.streams import Alignment
 from repro.memsys.config import MemorySystemConfig
 from repro.naturalorder.controller import NaturalOrderController
+from repro.naturalorder.random_driver import RandomAccessDriver
 from repro.rdram.audit import audit_trace
 from repro.sim.engine import run_smc
 
@@ -144,6 +147,145 @@ class TestSmcSimulationProperties:
         skipped = run_smc(build())
         stepped = run_smc(build(), dense=True)
         assert skipped == stepped
+
+
+class TestKernelSkipEquivalence:
+    """Dense-vs-skip exactness for every controller on the shared kernel.
+
+    The simulation kernel promises that skipping to the next
+    interesting cycle is observationally identical to visiting every
+    cycle.  Each ported controller contributes its own skip contract
+    (declared ``next_action_cycle`` values), so each gets its own
+    equivalence property — with and without the background refresh
+    engine perturbing device state between transactions.
+    """
+
+    @given(
+        kernel=kernel_names,
+        org=orgs,
+        alignment=alignments,
+        length=st.sampled_from([8, 16, 32]),
+        stride=strides,
+        refresh=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_natural_order_skip_is_exact(
+        self, kernel, org, alignment, length, stride, refresh
+    ):
+        def run(dense):
+            controller = NaturalOrderController(
+                config_for(org), refresh=refresh
+            )
+            return controller.run(
+                KERNELS[kernel],
+                length=length,
+                stride=stride,
+                alignment=alignment,
+                dense=dense,
+            )
+
+        assert run(False) == run(True)
+
+    @given(
+        kernel=kernel_names,
+        org=orgs,
+        alignment=alignments,
+        length=st.sampled_from([8, 16, 32]),
+        stride=strides,
+        refresh=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_cached_natural_order_skip_is_exact(
+        self, kernel, org, alignment, length, stride, refresh
+    ):
+        def run(dense):
+            controller = CachedNaturalOrderController(
+                config_for(org), refresh=refresh
+            )
+            return controller.run(
+                KERNELS[kernel],
+                length=length,
+                stride=stride,
+                alignment=alignment,
+                dense=dense,
+            )
+
+        assert run(False) == run(True)
+
+    @given(
+        kernel=kernel_names,
+        org=orgs,
+        alignment=alignments,
+        length=st.sampled_from([8, 16, 32]),
+        stride=st.sampled_from([1, 2, 4]),
+        window=st.sampled_from([2, 8]),
+        refresh=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_l2_streaming_skip_is_exact(
+        self, kernel, org, alignment, length, stride, window, refresh
+    ):
+        def run(dense):
+            controller = L2StreamingController(
+                config_for(org), prefetch_window=window, refresh=refresh
+            )
+            return controller.run(
+                KERNELS[kernel],
+                length=length,
+                stride=stride,
+                alignment=alignment,
+                dense=dense,
+            )
+
+        assert run(False) == run(True)
+
+    @given(
+        org=orgs,
+        transactions=st.sampled_from([4, 16, 48]),
+        write_fraction=st.sampled_from([0.0, 0.3, 1.0]),
+        seed=st.integers(min_value=1, max_value=64),
+        refresh=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_driver_skip_is_exact(
+        self, org, transactions, write_fraction, seed, refresh
+    ):
+        def run(dense):
+            driver = RandomAccessDriver(config_for(org), refresh=refresh)
+            return driver.run(
+                transactions,
+                write_fraction=write_fraction,
+                seed=seed,
+                dense=dense,
+            )
+
+        assert run(False) == run(True)
+
+    @given(
+        kernel=kernel_names,
+        org=orgs,
+        length=st.sampled_from([8, 16, 32]),
+        depth=st.sampled_from([4, 16]),
+    )
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_smc_skip_is_exact_with_refresh(self, kernel, org, length, depth):
+        config = config_for(org)
+
+        def build():
+            return build_smc_system(
+                KERNELS[kernel],
+                config,
+                length=length,
+                fifo_depth=depth,
+                refresh=True,
+            )
+
+        assert run_smc(build()) == run_smc(build(), dense=True)
 
 
 class TestNaturalOrderProperties:
