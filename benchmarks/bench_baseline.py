@@ -18,8 +18,10 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from typing import Callable, Dict, List
 
 from repro.cache.controller import CachedNaturalOrderController
@@ -32,6 +34,18 @@ from repro.naturalorder.random_driver import RandomAccessDriver
 from repro.sim.engine import run_smc
 
 BENCH_KERNELS = ("copy", "daxpy", "vaxpy")
+
+
+def _git_sha() -> str:
+    """HEAD commit of the working tree, or 'unknown' outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() or "unknown"
 
 
 def _controllers(length: int) -> Dict[str, Callable[[str, str], object]]:
@@ -90,6 +104,7 @@ def bench_point(
     return {
         "kernel": kernel,
         "organization": org,
+        "repeats": repeats,
         "wall_ms": round(best * 1e3, 3),
         "simulated_cycles": cycles,
         "cycles_per_second": round(cycles / best) if best > 0 else None,
@@ -117,11 +132,15 @@ def main(argv: List[str] | None = None) -> int:
                 )
 
     report = {
-        "schema": "bench-core/1",
+        "schema": "bench-core/2",
         "length": args.length,
         "repeats": args.repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "git_sha": _git_sha(),
+        "generated_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
         "results": results,
     }
     with open(args.output, "w", encoding="utf-8") as handle:

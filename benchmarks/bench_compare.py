@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Diff a fresh ``BENCH_core.json`` against the committed baseline.
+
+Matches points by (controller, kernel, organization) and compares
+``cycles_per_second``.  Wall-clock benchmarks on shared CI runners are
+noisy, so the gate is a tolerance band, not an equality check: the
+exit status is non-zero only when at least one point is slower than
+``baseline * (1 - tolerance)``.  Speedups and missing/new points are
+reported but never fail the gate (regenerate the committed baseline
+when the matrix changes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_baseline.py --output fresh.json
+    python benchmarks/bench_compare.py BENCH_core.json fresh.json \
+        [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: Identity of one benchmark point across runs.
+PointKey = Tuple[str, str, str]
+
+#: Default slowdown band: fail only below 75% of baseline throughput.
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_points(path: str) -> Dict[PointKey, dict]:
+    """Read a bench-core JSON file into {(controller, kernel, org): point}."""
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    points: Dict[PointKey, dict] = {}
+    for point in report.get("results", []):
+        key = (
+            str(point.get("controller", "?")),
+            str(point.get("kernel", "?")),
+            str(point.get("organization", "?")),
+        )
+        points[key] = point
+    return points
+
+
+def compare(
+    baseline: Dict[PointKey, dict],
+    fresh: Dict[PointKey, dict],
+    tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Return (report lines, regression lines) for the shared points."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    header = (
+        f"{'controller':22s} {'kernel':8s} {'org':4s} "
+        f"{'baseline':>12s} {'fresh':>12s} {'ratio':>7s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key in sorted(baseline):
+        if key not in fresh:
+            lines.append(
+                f"{key[0]:22s} {key[1]:8s} {key[2]:4s} "
+                f"{'':>12s} {'(missing)':>12s}"
+            )
+            continue
+        base_cps = baseline[key].get("cycles_per_second")
+        new_cps = fresh[key].get("cycles_per_second")
+        if not base_cps or not new_cps:
+            continue
+        ratio = new_cps / base_cps
+        flag = ""
+        if ratio < 1.0 - tolerance:
+            flag = "  << REGRESSION"
+            regressions.append(
+                f"{'/'.join(key)}: {new_cps:,} cyc/s vs baseline "
+                f"{base_cps:,} ({ratio:.2f}x, tolerance {1 - tolerance:.2f}x)"
+            )
+        lines.append(
+            f"{key[0]:22s} {key[1]:8s} {key[2]:4s} "
+            f"{base_cps:>12,} {new_cps:>12,} {ratio:>6.2f}x{flag}"
+        )
+    for key in sorted(set(fresh) - set(baseline)):
+        lines.append(
+            f"{key[0]:22s} {key[1]:8s} {key[2]:4s} "
+            f"{'(new)':>12s} "
+            f"{fresh[key].get('cycles_per_second') or 0:>12,}"
+        )
+    return lines, regressions
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_core.json")
+    parser.add_argument("fresh", help="freshly generated bench JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="F",
+        help="allowed fractional slowdown before failing "
+             f"(default {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+
+    try:
+        baseline = load_points(args.baseline)
+        fresh = load_points(args.fresh)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    lines, regressions = compare(baseline, fresh, args.tolerance)
+    try:
+        print("\n".join(lines))
+    except BrokenPipeError:
+        return 0
+    shared = len(set(baseline) & set(fresh))
+    if regressions:
+        print(
+            f"\n{len(regressions)} of {shared} points regressed beyond "
+            f"{args.tolerance:.0%}:"
+        )
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nOK: {shared} points within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

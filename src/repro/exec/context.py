@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Union
 
 from repro.exec.cache import ResultCache
+from repro.exec.stats import SweepStats
 
 
 @dataclass
@@ -34,10 +35,14 @@ class ExecutionContext:
         workers: Process-pool size for sweep fan-out; None or <= 1
             means in-process serial execution.
         cache: Result cache consulted and filled by every simulation.
+        stats: Optional sweep-level metrics accumulator; every
+            :func:`~repro.exec.pool.run_specs` batch inside the
+            context reports into it.
     """
 
     workers: Optional[int] = None
     cache: Optional[ResultCache] = None
+    stats: Optional[SweepStats] = None
 
 
 _STACK: List[ExecutionContext] = []
@@ -56,13 +61,18 @@ def coerce_cache(
 def execution(
     workers: Optional[int] = None,
     cache: Union[ResultCache, str, "os.PathLike[str]", None] = None,
+    stats: Optional[SweepStats] = None,
 ) -> Iterator[ExecutionContext]:
     """Install an ambient execution context for the enclosed block.
 
     Contexts nest; the innermost one wins.  ``cache`` may be a
-    :class:`~repro.exec.cache.ResultCache` or a directory path.
+    :class:`~repro.exec.cache.ResultCache` or a directory path;
+    ``stats`` a :class:`~repro.exec.stats.SweepStats` collecting
+    sweep-level metrics across every batch in the block.
     """
-    context = ExecutionContext(workers=workers, cache=coerce_cache(cache))
+    context = ExecutionContext(
+        workers=workers, cache=coerce_cache(cache), stats=stats
+    )
     _STACK.append(context)
     try:
         yield context
@@ -85,3 +95,9 @@ def active_workers() -> Optional[int]:
     """The active context's worker count, or None."""
     context = current()
     return context.workers if context else None
+
+
+def active_stats() -> Optional[SweepStats]:
+    """The active context's sweep-stats accumulator, or None."""
+    context = current()
+    return context.stats if context else None

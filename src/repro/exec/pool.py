@@ -23,6 +23,7 @@ simulator object graph is ever pickled.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -31,6 +32,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 from repro.errors import ExecutionError
 from repro.exec import context as _context
 from repro.exec.cache import ResultCache
+from repro.exec.stats import SweepStats
 from repro.sim import runner as _runner
 from repro.sim.results import SimulationResult
 from repro.sim.runner import RunSpec
@@ -83,10 +85,18 @@ def _maybe_crash(spec: RunSpec) -> None:
 
 
 def _worker_run(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Process-pool worker: dict in, dict out."""
+    """Process-pool worker: dict in, dict out.
+
+    The result rides back under ``"result"`` with the simulation's
+    wall time alongside, so the parent can feed per-spec timing into
+    the sweep-level metrics without a second clock across the process
+    boundary.
+    """
     spec = RunSpec.from_dict(payload)
     _maybe_crash(spec)
-    return _runner.simulate(spec).to_dict()
+    started = time.perf_counter()
+    result = _runner.simulate(spec).to_dict()
+    return {"result": result, "wall_s": time.perf_counter() - started}
 
 
 def run_specs(
@@ -96,6 +106,7 @@ def run_specs(
     cache: Union[ResultCache, str, "os.PathLike[str]", None] = None,
     progress: Optional[ProgressCallback] = None,
     retries: int = 1,
+    stats: Optional["SweepStats"] = None,
 ) -> List[SimulationResult]:
     """Execute a batch of run specifications.
 
@@ -111,6 +122,10 @@ def run_specs(
             completed point, in completion order.
         retries: How many times a point may be involved in a worker
             crash and still be resubmitted.
+        stats: Sweep-level metrics accumulator
+            (:class:`~repro.exec.stats.SweepStats`); None falls back
+            to the active context's.  Receives every completed point
+            with its cache status and (for fresh runs) wall time.
 
     Returns:
         Results in the same order as ``specs``.
@@ -126,50 +141,73 @@ def run_specs(
     cache = _context.coerce_cache(cache)
     if cache is None:
         cache = _context.active_cache()
+    if stats is None:
+        stats = _context.active_stats()
 
     total = len(specs)
+    pooled = workers is not None and workers > 1
+    if stats is not None:
+        stats.begin_batch(total, workers if pooled else 1)
     results: List[Optional[SimulationResult]] = [None] * total
     pending: Dict[int, RunSpec] = {}
     done = 0
 
-    for index, spec in enumerate(specs):
-        hit = cache.get(spec) if cache is not None else None
-        if hit is not None:
-            results[index] = hit
+    try:
+        for index, spec in enumerate(specs):
+            hit = cache.get(spec) if cache is not None else None
+            if hit is not None:
+                results[index] = hit
+                done += 1
+                if stats is not None:
+                    stats.note_point(cached=True)
+                if progress is not None:
+                    progress(
+                        ProgressEvent(index, done, total, spec, hit, True)
+                    )
+            else:
+                pending[index] = spec
+
+        def landed(
+            index: int,
+            result: SimulationResult,
+            wall_s: Optional[float] = None,
+        ) -> None:
+            nonlocal done
+            results[index] = result
+            del pending[index]
             done += 1
+            if cache is not None:
+                cache.put(specs[index], result)
+            if stats is not None:
+                stats.note_point(cached=False, wall_s=wall_s)
             if progress is not None:
-                progress(ProgressEvent(index, done, total, spec, hit, True))
+                progress(
+                    ProgressEvent(
+                        index, done, total, specs[index], result, False
+                    )
+                )
+
+        if not pending:
+            return results  # fully warm
+
+        if pooled:
+            _run_pooled(pending, workers, retries, landed)
         else:
-            pending[index] = spec
-
-    def landed(index: int, result: SimulationResult) -> None:
-        nonlocal done
-        results[index] = result
-        del pending[index]
-        done += 1
-        if cache is not None:
-            cache.put(specs[index], result)
-        if progress is not None:
-            progress(
-                ProgressEvent(index, done, total, specs[index], result, False)
-            )
-
-    if not pending:
-        return results  # fully warm
-
-    if workers is not None and workers > 1:
-        _run_pooled(pending, workers, retries, landed)
-    else:
-        for index in sorted(pending):
-            landed(index, _runner.simulate(specs[index]))
-    return results
+            for index in sorted(pending):
+                started = time.perf_counter()
+                result = _runner.simulate(specs[index])
+                landed(index, result, time.perf_counter() - started)
+        return results
+    finally:
+        if stats is not None:
+            stats.end_batch()
 
 
 def _run_pooled(
     pending: Dict[int, RunSpec],
     workers: int,
     retries: int,
-    landed: Callable[[int, SimulationResult], None],
+    landed: Callable[..., None],
 ) -> None:
     """Drain ``pending`` through process pools, retrying after crashes."""
     # Serialize up front so unserializable specs fail fast and clearly.
@@ -191,7 +229,11 @@ def _run_pooled(
                 except BrokenProcessPool as error:
                     crash = error
                     break  # every remaining future is equally broken
-                landed(index, SimulationResult.from_dict(payload))
+                landed(
+                    index,
+                    SimulationResult.from_dict(payload["result"]),
+                    payload.get("wall_s"),
+                )
         if crash is None:
             continue  # pending is empty; loop exits
         # We cannot tell which in-flight point killed the worker, so

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.exec import execution
+from repro.exec.stats import SweepStats
 from repro.experiments import rendering
 from repro.experiments.registry import get_experiment, list_experiments
 from repro.experiments.rendering import ExperimentTable
@@ -151,7 +152,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ConfigurationError as error:
             raise SystemExit(str(error)) from None
     started = time.time()
-    with execution(workers=args.workers, cache=args.cache):
+    stats = SweepStats(stream=sys.stderr if sys.stderr.isatty() else None)
+    with execution(workers=args.workers, cache=args.cache, stats=stats):
         results = collect(args.experiments or EXPERIMENTS)
         for slug, table in results:
             sys.stdout.write(table.render())
@@ -171,6 +173,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sys.stdout.write(
         f"ran {len(results)} tables in {time.time() - started:.1f}s\n"
     )
+    if stats.specs > 0:
+        sys.stdout.write(stats.summary() + "\n")
     return 0
 
 

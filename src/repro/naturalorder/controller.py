@@ -39,6 +39,7 @@ from repro.memsys.address import get_address_mapping
 from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig
 from repro.memsys.pagemanager import make_page_manager
 from repro.obs.core import Instrumentation
+from repro.obs.telemetry import finalize_telemetry
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
 from repro.rdram.refresh import RefreshEngine
@@ -195,7 +196,10 @@ class NaturalOrderController:
                 last_data_end=last_data_end,
                 t_pack=self.config.timing.t_pack,
                 t_rw=self.config.timing.t_rw,
+                useful_bytes=useful,
+                transferred_bytes=self.device.bytes_transferred,
             )
+            finalize_telemetry(obs)
             self.device.obs = None
         return builder.build(
             cycles=last_data_end,

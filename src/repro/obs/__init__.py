@@ -14,10 +14,20 @@ a simulation entry point, then attribute stalls or export the run::
     print(stalls.table())
     write_chrome_trace("trace.json", obs, stalls=stalls.as_dict())
 
+Time-series telemetry rides on the same object: construct it with a
+sampling window and windowed series land in ``obs.metrics``::
+
+    obs = Instrumentation(telemetry_window=256)
+    result = simulate_kernel("daxpy", "pi", obs=obs)
+    series = obs.metrics.series("telemetry.data_bus_utilization")
+
 See :mod:`repro.obs.core` for the primitives,
 :mod:`repro.obs.attribution` for the exact cycle accounting,
-:mod:`repro.obs.export` for Perfetto/JSONL I/O, and ``repro-trace``
-(:mod:`repro.obs.cli`) for inspecting exported files.
+:mod:`repro.obs.telemetry` for the sampling probe and windowed series,
+:mod:`repro.obs.metrics` for the registry and its exporters,
+:mod:`repro.obs.export` for Perfetto/JSONL I/O, and the
+``repro-trace`` / ``repro-metrics`` CLIs for inspecting exported
+files.
 """
 
 from repro.obs.attribution import (
@@ -26,6 +36,7 @@ from repro.obs.attribution import (
     StallAttribution,
     access_mix,
     attribute_stalls,
+    classify_stall_intervals,
     format_stall_table,
 )
 from repro.obs.core import (
@@ -36,18 +47,49 @@ from repro.obs.core import (
     Instrumentation,
     SpanEvent,
 )
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    load_metrics_jsonl,
+    to_prometheus,
+    write_metrics_csv,
+    write_metrics_jsonl,
+)
+from repro.obs.telemetry import (
+    TelemetryProbe,
+    TelemetrySource,
+    build_windowed_series,
+    finalize_telemetry,
+)
 
 __all__ = [
     "AccessMix",
     "BUCKETS",
+    "Counter",
     "CounterRegistry",
     "DataBusGap",
     "EventTracer",
+    "Gauge",
+    "Histogram",
     "InstantEvent",
     "Instrumentation",
+    "MetricsRegistry",
+    "Series",
     "SpanEvent",
     "StallAttribution",
+    "TelemetryProbe",
+    "TelemetrySource",
     "access_mix",
     "attribute_stalls",
+    "build_windowed_series",
+    "classify_stall_intervals",
+    "finalize_telemetry",
     "format_stall_table",
+    "load_metrics_jsonl",
+    "to_prometheus",
+    "write_metrics_csv",
+    "write_metrics_jsonl",
 ]

@@ -261,45 +261,10 @@ def attribute_stalls(
     cycles = int(cycles)
     last_data_end = int(last_data_end)
 
-    fifo_spans = merge_intervals(
-        (span.start, span.end)
-        for span in obs.tracer.spans_on("msu", "idle:fifo")
-    )
-    refresh_spans = merge_intervals(
-        (span.start, span.end)
-        for span in obs.tracer.spans_on("refresh", "refresh")
-    )
-
     buckets: Dict[str, int] = {name: 0 for name in BUCKETS}
-    gap_total = 0
-    for gap in obs.gaps:
-        gap_total += gap.length
-        cursor = gap.start
-        # Leading turnaround portion: exactly min(gap, t_RW) cycles,
-        # matching TraceMetrics.turnaround_cycles.
-        lead = min(max(gap.turnaround_until, cursor), gap.end)
-        buckets["turnaround"] += lead - cursor
-        cursor = lead
-        if cursor >= gap.end:
-            continue
-        for lo, hi in _subintervals(
-            cursor,
-            gap.end,
-            (gap.bank_until, gap.colbus_until, gap.request_until),
-            refresh_spans,
-            fifo_spans,
-        ):
-            mid = lo  # bounds are constant over the subinterval
-            if covers(mid, refresh_spans):
-                buckets["refresh"] += hi - lo
-            elif mid < gap.bank_until:
-                buckets["precharge_activate"] += hi - lo
-            elif mid < gap.colbus_until:
-                buckets["command_bus"] += hi - lo
-            elif covers(mid, fifo_spans):
-                buckets["fifo"] += hi - lo
-            else:
-                buckets["scheduler_idle"] += hi - lo
+    gap_total = sum(gap.length for gap in obs.gaps)
+    for lo, hi, name in classify_stall_intervals(obs):
+        buckets[name] += hi - lo
 
     busy = last_data_end - gap_total
     buckets["drain"] = cycles - last_data_end
@@ -320,6 +285,68 @@ def attribute_stalls(
             f"{attribution.total}, run cycles = {cycles}"
         )
     return attribution
+
+
+def classify_stall_intervals(
+    obs: Instrumentation,
+) -> List[Tuple[int, int, str]]:
+    """Classify every idle DATA-bus interval of an instrumented run.
+
+    The single source of truth for gap classification: both
+    :func:`attribute_stalls` (run totals) and the windowed telemetry
+    series (:func:`repro.obs.telemetry.build_windowed_series`) sum
+    these same pieces, so windowed stall series reconcile with the
+    seven-bucket totals *exactly*, by construction.
+
+    Args:
+        obs: Instrumentation from a completed run.
+
+    Returns:
+        Disjoint ``(start, end, bucket)`` pieces in bus order, one
+        classification per piece, covering every recorded gap cycle.
+        The ``drain`` tail is not included (it is not a gap; callers
+        append it from ``cycles``/``last_data_end`` metadata).
+    """
+    fifo_spans = merge_intervals(
+        (span.start, span.end)
+        for span in obs.tracer.spans_on("msu", "idle:fifo")
+    )
+    refresh_spans = merge_intervals(
+        (span.start, span.end)
+        for span in obs.tracer.spans_on("refresh", "refresh")
+    )
+
+    pieces: List[Tuple[int, int, str]] = []
+    for gap in obs.gaps:
+        cursor = gap.start
+        # Leading turnaround portion: exactly min(gap, t_RW) cycles,
+        # matching TraceMetrics.turnaround_cycles.
+        lead = min(max(gap.turnaround_until, cursor), gap.end)
+        if lead > cursor:
+            pieces.append((cursor, lead, "turnaround"))
+        cursor = lead
+        if cursor >= gap.end:
+            continue
+        for lo, hi in _subintervals(
+            cursor,
+            gap.end,
+            (gap.bank_until, gap.colbus_until, gap.request_until),
+            refresh_spans,
+            fifo_spans,
+        ):
+            mid = lo  # bounds are constant over the subinterval
+            if covers(mid, refresh_spans):
+                name = "refresh"
+            elif mid < gap.bank_until:
+                name = "precharge_activate"
+            elif mid < gap.colbus_until:
+                name = "command_bus"
+            elif covers(mid, fifo_spans):
+                name = "fifo"
+            else:
+                name = "scheduler_idle"
+            pieces.append((lo, hi, name))
+    return pieces
 
 
 def _subintervals(

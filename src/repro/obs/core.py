@@ -32,7 +32,10 @@ All timestamps are interface-clock cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
 
 
 class CounterRegistry:
@@ -223,16 +226,34 @@ class Instrumentation:
         now: Current simulation cycle, maintained by the engine so
             hooks without a cycle argument (FIFO push/pop) can
             timestamp their samples.
+        metrics: Time-series registry (:mod:`repro.obs.metrics`) that
+            telemetry samples and windowed series land in.
+        telemetry_window: Sampling period in cycles; when set, the
+            simulation kernel wires a
+            :class:`~repro.obs.telemetry.TelemetryProbe` into the run
+            and the engine builds windowed series afterwards.  None
+            (the default) disables both — runs pay nothing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry_window: Optional[int] = None) -> None:
+        if telemetry_window is not None and telemetry_window <= 0:
+            raise ConfigurationError(
+                "telemetry window must be positive, got "
+                f"{telemetry_window}"
+            )
         self.counters = CounterRegistry()
         self.tracer = EventTracer()
         self.gaps: List[DataBusGap] = []
         self.meta: Dict[str, object] = {}
         self.now: int = 0
+        self.metrics = MetricsRegistry()
+        self.telemetry_window = telemetry_window
 
     def __eq__(self, other: object) -> bool:
+        """Equality over the *simulation-determined* record — counters,
+        events, and gaps — deliberately ignoring the metrics registry,
+        so a telemetry-attached run compares equal to a detached one
+        (the basis of the bit-for-bit equivalence tests)."""
         if not isinstance(other, Instrumentation):
             return NotImplemented
         return (

@@ -1,0 +1,287 @@
+"""Metrics inspection command line, installed as ``repro-metrics``.
+
+Reads a metrics file written by ``repro-simulate --metrics-out`` (or
+:func:`repro.obs.metrics.write_metrics_jsonl`) and lists, re-exports,
+or plots its contents — or runs a simulation with telemetry attached
+and captures the file in one step::
+
+    repro-metrics list /tmp/m.jsonl            # metric inventory
+    repro-metrics dump /tmp/m.jsonl            # Prometheus text format
+    repro-metrics dump /tmp/m.jsonl --format csv --out m.csv
+    repro-metrics plot /tmp/m.jsonl telemetry.data_bus_utilization
+    repro-metrics plot /tmp/m.jsonl telemetry.stall_cycles --label bucket=fifo
+    repro-metrics run daxpy --org pi --length 1024 --window 256 \\
+        --out /tmp/m.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ObservabilityError, ReproError
+from repro.obs.metrics import (
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    Series,
+    load_metrics_jsonl,
+    to_prometheus,
+    write_metrics_csv,
+    write_metrics_jsonl,
+)
+
+#: Eight-level bar glyphs for sparkline plots.
+_SPARKS = " ▁▂▃▄▅▆▇█"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description=(
+            "Inspect, re-export, or plot simulator metrics files "
+            "(JSONL from repro-simulate --metrics-out)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list", help="list metrics in a file")
+    list_p.add_argument("file", help="metrics .jsonl file")
+
+    dump_p = sub.add_parser("dump", help="re-export a metrics file")
+    dump_p.add_argument("file", help="metrics .jsonl file")
+    dump_p.add_argument(
+        "--format", choices=("prometheus", "jsonl", "csv"),
+        default="prometheus", help="output format (default prometheus)",
+    )
+    dump_p.add_argument(
+        "--out", metavar="PATH",
+        help="write to PATH instead of stdout (required for csv/jsonl)",
+    )
+
+    plot_p = sub.add_parser("plot", help="ASCII-plot a series/histogram")
+    plot_p.add_argument("file", help="metrics .jsonl file")
+    plot_p.add_argument("name", help="metric name (see 'list')")
+    plot_p.add_argument(
+        "--label", action="append", default=[], metavar="K=V",
+        help="only metrics carrying this label (repeatable)",
+    )
+    plot_p.add_argument(
+        "--width", type=int, default=64,
+        help="plot width in characters (default 64)",
+    )
+
+    run_p = sub.add_parser(
+        "run", help="simulate with telemetry and capture metrics"
+    )
+    run_p.add_argument("kernel", help="kernel name (copy, daxpy, vaxpy, ...)")
+    run_p.add_argument("--org", default="cli", choices=("cli", "pi"),
+                       help="memory organization (default cli)")
+    run_p.add_argument("--length", type=int, default=1024,
+                       help="vector length in elements (default 1024)")
+    run_p.add_argument("--fifo-depth", type=int, default=64,
+                       help="FIFO depth in elements (default 64)")
+    run_p.add_argument("--stride", type=int, default=1,
+                       help="stream stride in elements (default 1)")
+    run_p.add_argument("--window", type=int, default=256, metavar="N",
+                       help="telemetry window in cycles (default 256)")
+    run_p.add_argument("--out", metavar="PATH",
+                       help="write metrics JSONL to PATH")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _list(args)
+        if args.command == "dump":
+            return _dump(args)
+        if args.command == "plot":
+            return _plot(args)
+        return _run(args)
+    except ReproError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 1
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head); exit quietly.
+        sys.stderr.close()
+        return 0
+
+
+def _list(args: argparse.Namespace) -> int:
+    registry = load_metrics_jsonl(args.file)
+    if not registry:
+        print("(no metrics)")
+        return 0
+    width = max(len(m.name) for m in registry.all())
+    for metric in registry.all():
+        labels = " ".join(f"{k}={v}" for k, v in metric.labels)
+        if isinstance(metric, Series):
+            detail = f"{len(metric.samples)} samples"
+        elif isinstance(metric, Histogram):
+            detail = (
+                f"count={metric.count} p50={metric.p50:g} "
+                f"p90={metric.p90:g} p99={metric.p99:g}"
+            )
+        else:
+            detail = f"value={metric.value:g}"
+        print(
+            f"{metric.kind:<9s} {metric.name:<{width}s}"
+            + (f"  {{{labels}}}" if labels else "")
+            + f"  {detail}"
+        )
+    return 0
+
+
+def _dump(args: argparse.Namespace) -> int:
+    registry = load_metrics_jsonl(args.file)
+    if args.format == "prometheus":
+        text = to_prometheus(registry)
+        if args.out:
+            _write_text(args.out, text)
+        else:
+            sys.stdout.write(text)
+        return 0
+    if not args.out:
+        raise ConfigurationError(
+            f"--format {args.format} needs --out PATH"
+        )
+    if args.format == "jsonl":
+        count = write_metrics_jsonl(args.out, registry)
+    else:
+        count = write_metrics_csv(args.out, registry)
+    print(f"wrote {count} {args.format} records to {args.out}")
+    return 0
+
+
+def _plot(args: argparse.Namespace) -> int:
+    registry = load_metrics_jsonl(args.file)
+    wanted = _parse_labels(args.label)
+    matches = [
+        metric for metric in registry.find(args.name)
+        if all(pair in metric.labels for pair in wanted)
+    ]
+    if not matches:
+        known = ", ".join(sorted(registry.names())) or "(none)"
+        raise ObservabilityError(
+            f"no metric named {args.name!r}"
+            + (f" with labels {dict(wanted)}" if wanted else "")
+            + f" in {args.file!r}; known names: {known}"
+        )
+    for metric in matches:
+        _plot_one(metric, max(8, args.width))
+    return 0
+
+
+def _parse_labels(pairs: Sequence[str]) -> List[Tuple[str, str]]:
+    parsed = []
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--label wants K=V, got {pair!r}"
+            )
+        parsed.append((key, value))
+    return parsed
+
+
+def _plot_one(metric: Metric, width: int) -> None:
+    labels = " ".join(f"{k}={v}" for k, v in metric.labels)
+    title = metric.name + (f" {{{labels}}}" if labels else "")
+    if isinstance(metric, Series):
+        values = metric.values()
+        if not values:
+            print(f"{title}: (no samples)")
+            return
+        lo, hi = min(values), max(values)
+        print(
+            f"{title}: {len(values)} samples, "
+            f"min={lo:g} max={hi:g} last={values[-1]:g}"
+        )
+        print("  " + _sparkline(_rebin(values, width), lo, hi))
+        first_t = metric.samples[0][0]
+        last_t = metric.samples[-1][0]
+        print(f"  t={first_t} .. {last_t}")
+    elif isinstance(metric, Histogram):
+        print(
+            f"{title}: count={metric.count} p50={metric.p50:g} "
+            f"p90={metric.p90:g} p99={metric.p99:g}"
+        )
+        peak = max(metric.bucket_counts) or 1
+        edges = [*metric.bounds, float("inf")]
+        for bound, count in zip(edges, metric.bucket_counts):
+            bar = "#" * round(width * count / peak)
+            print(f"  le {bound:>10g}  {count:>8d}  {bar}")
+    else:
+        print(f"{title}: {metric.value:g}")
+
+
+def _rebin(values: Sequence[float], width: int) -> List[float]:
+    """Reduce a series to at most ``width`` points by bucket-averaging."""
+    if len(values) <= width:
+        return list(values)
+    binned = []
+    for i in range(width):
+        lo = i * len(values) // width
+        hi = max(lo + 1, (i + 1) * len(values) // width)
+        chunk = values[lo:hi]
+        binned.append(sum(chunk) / len(chunk))
+    return binned
+
+
+def _sparkline(values: Sequence[float], lo: float, hi: float) -> str:
+    span = hi - lo
+    if span <= 0:
+        # A flat series: draw the floor glyph when it sits at zero.
+        glyph = _SPARKS[1] if hi == 0 else _SPARKS[-1]
+        return glyph * len(values)
+    levels = len(_SPARKS) - 1
+    return "".join(
+        _SPARKS[round((value - lo) / span * levels)] for value in values
+    )
+
+
+def _run(args: argparse.Namespace) -> int:
+    from repro.obs.core import Instrumentation
+    from repro.sim.runner import simulate_kernel
+
+    obs = Instrumentation(telemetry_window=args.window)
+    result = simulate_kernel(
+        args.kernel,
+        args.org,
+        length=args.length,
+        fifo_depth=args.fifo_depth,
+        stride=args.stride,
+        obs=obs,
+    )
+    print(result.summary())
+    util = obs.metrics.series("telemetry.data_bus_utilization")
+    values = util.values()
+    if values:
+        print(
+            f"telemetry    : window={args.window} cycles, "
+            f"{len(values)} windows"
+        )
+        print("  bus util   : " + _sparkline(
+            _rebin(values, 64), min(values), max(values)
+        ))
+    if args.out:
+        count = write_metrics_jsonl(args.out, obs.metrics)
+        print(f"metrics      : {count} records -> {args.out}")
+    return 0
+
+
+def _write_text(path: str, text: str) -> None:
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    except OSError as error:
+        raise ObservabilityError(
+            f"cannot write {path!r}: {error}"
+        ) from None
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

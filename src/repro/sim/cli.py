@@ -30,9 +30,12 @@ from repro.cpu.kernels import KERNELS, get_kernel
 from repro.cpu.streams import Alignment
 from repro.memsys.address import MAPPINGS, list_mappings
 from repro.memsys.pagemanager import PAGE_POLICIES, list_page_policies
+from repro.cache.controller import CachedNaturalOrderController
+from repro.core.l2stream import L2StreamingController
 from repro.naturalorder.controller import NaturalOrderController
-from repro.obs import Instrumentation, access_mix, attribute_stalls
+from repro.obs import AccessMix, Instrumentation, access_mix, attribute_stalls
 from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.metrics import write_metrics_jsonl
 from repro.rdram.audit import audit_trace
 from repro.rdram.tracefmt import render_trace
 from repro.exec import execution
@@ -90,9 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "policies, and MSU scheduling policies, "
                              "then exit")
     parser.add_argument("--baseline", default=None,
-                        choices=("natural-order",),
-                        help="run the traditional controller instead of "
-                             "the SMC")
+                        choices=("natural-order", "cached", "l2-streaming"),
+                        help="run a traditional controller instead of "
+                             "the SMC: the bare natural-order device, "
+                             "the cache-realistic natural-order "
+                             "controller, or the L2-streaming variant")
     parser.add_argument("--refresh", action="store_true",
                         help="run the background refresh engine")
     parser.add_argument("--gantt", type=int, nargs="?", const=120,
@@ -113,6 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="export the instrumented run as a Chrome/"
                              "Perfetto trace (or JSONL if PATH ends "
                              "with .jsonl)")
+    parser.add_argument("--telemetry", type=int, default=None, metavar="N",
+                        help="sample telemetry every N cycles into "
+                             "windowed time series (inspect with "
+                             "repro-metrics)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the run's metrics registry as JSONL "
+                             "(implies --telemetry 256 when no window "
+                             "is given)")
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON report "
                              "instead of the human-readable one")
@@ -207,9 +220,27 @@ def _run(args) -> int:
         kernel = compile_loop(args.kernel)
     else:
         kernel = get_kernel(args.kernel)
+    telemetry = args.telemetry
+    if telemetry is None and args.metrics_out:
+        telemetry = 256
     need_trace = bool(args.gantt is not None or args.metrics or args.audit)
-    need_obs = bool(args.json or args.stats or args.trace_out)
-    obs = Instrumentation() if need_obs else None
+    need_obs = bool(
+        args.json or args.stats or args.trace_out or telemetry
+    )
+    # The cached and L2-streaming controllers carry their row-buffer
+    # statistics in the result record itself rather than through an
+    # Instrumentation, so obs-only features are rejected up front.
+    obsless = args.baseline in ("cached", "l2-streaming")
+    if obsless and (args.stats or args.trace_out or telemetry):
+        raise ConfigurationError(
+            f"--baseline {args.baseline} is not instrumented; "
+            "--stats, --trace-out, --telemetry and --metrics-out are "
+            "available for the SMC and the natural-order baseline only"
+        )
+    obs = (
+        Instrumentation(telemetry_window=telemetry)
+        if need_obs and not obsless else None
+    )
 
     if args.baseline == "natural-order":
         controller = NaturalOrderController(config, record_trace=need_trace)
@@ -219,6 +250,28 @@ def _run(args) -> int:
             stride=args.stride,
             alignment=Alignment(args.alignment),
             obs=obs,
+        )
+        trace = controller.device.trace
+    elif args.baseline == "cached":
+        controller = CachedNaturalOrderController(
+            config, record_trace=need_trace, refresh=args.refresh
+        )
+        result = controller.run(
+            kernel,
+            length=args.length,
+            stride=args.stride,
+            alignment=Alignment(args.alignment),
+        )
+        trace = controller.device.trace
+    elif args.baseline == "l2-streaming":
+        controller = L2StreamingController(
+            config, record_trace=need_trace, refresh=args.refresh
+        )
+        result = controller.run(
+            kernel,
+            length=args.length,
+            stride=args.stride,
+            alignment=Alignment(args.alignment),
         )
         trace = controller.device.trace
     elif not need_trace and not need_obs:
@@ -253,6 +306,9 @@ def _run(args) -> int:
         trace = system.device.trace
 
     stalls = attribute_stalls(obs) if obs is not None else None
+    metrics_written = None
+    if args.metrics_out and obs is not None:
+        metrics_written = write_metrics_jsonl(args.metrics_out, obs.metrics)
     result_dict = dataclasses.asdict(result)
     result_dict["percent_of_peak"] = result.percent_of_peak
     result_dict["percent_of_attainable"] = result.percent_of_attainable
@@ -272,10 +328,24 @@ def _run(args) -> int:
         )
 
     if args.json:
-        report = {"result": result_dict, "counters": dict(obs.counters.counters)}
-        report["access_mix"] = access_mix(obs).as_dict()
+        report = {"result": result_dict}
+        if obs is not None:
+            report["counters"] = dict(obs.counters.counters)
+            report["access_mix"] = access_mix(obs).as_dict()
+        else:
+            # The cached and L2-streaming controllers report their
+            # row-buffer outcomes through the result record.
+            report["counters"] = {}
+            report["access_mix"] = AccessMix(
+                page_hits=result.page_hits,
+                page_misses=result.page_misses,
+                bank_conflicts=result.bank_conflicts,
+                autocloses=0,
+            ).as_dict()
         if stalls is not None:
             report["stalls"] = stalls.as_dict()
+        if metrics_written is not None:
+            report["metrics_out"] = args.metrics_out
         if args.metrics:
             metrics = measure_trace(
                 _require_trace(trace, "--metrics"), config.timing
@@ -313,6 +383,14 @@ def _run(args) -> int:
     if exported is not None:
         print(f"trace        : {exported} records written to "
               f"{args.trace_out}")
+    if telemetry and obs is not None:
+        windows = len(
+            obs.metrics.series("telemetry.busy_cycles").samples
+        )
+        print(f"telemetry    : {windows} windows of {telemetry} cycles")
+    if metrics_written is not None:
+        print(f"metrics      : {metrics_written} records written to "
+              f"{args.metrics_out}")
 
     if args.stats:
         print()

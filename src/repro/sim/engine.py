@@ -26,6 +26,8 @@ from repro.core.smc import SmcSystem
 from repro.cpu.processor import StreamProcessor
 from repro.memsys.config import ELEMENT_BYTES
 from repro.obs.core import Instrumentation
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import finalize_telemetry
 from repro.rdram.audit import audit_trace
 from repro.sim.kernel import (
     BackgroundComponent,
@@ -77,6 +79,22 @@ class _MsuComponent:
     def finish_observation(self, end_cycle: int) -> None:
         self.msu.finish_observation(end_cycle)
         self.system.device.finish_observation(end_cycle)
+
+    def sample_telemetry(self, cycle: int, metrics: MetricsRegistry) -> None:
+        """Record FIFO depths and the open-bank count at ``cycle``."""
+        for fifo in self.system.sbu:
+            metrics.series(
+                "telemetry.fifo_occupancy",
+                help="FIFO occupancy in elements at window boundaries",
+                stream=fifo.descriptor.name,
+            ).sample(cycle, float(fifo.occupancy))
+        open_banks = sum(
+            1 for bank in self.system.device.banks if bank.is_open
+        )
+        metrics.series(
+            "telemetry.banks_open",
+            help="banks holding an open row at window boundaries",
+        ).sample(cycle, float(open_banks))
 
 
 class _CpuComponent:
@@ -185,6 +203,7 @@ def run_smc(
     if obs is not None:
         simulation.finish(end_cycle)
         _record_meta(system, obs, end_cycle)
+        finalize_telemetry(obs)
     if audit:
         geometry = system.config.geometry
         audit_trace(
@@ -231,6 +250,9 @@ def _record_meta(
 ) -> None:
     """Record the run metadata stall attribution needs."""
     timing = system.config.timing
+    useful = sum(
+        fifo.descriptor.length for fifo in system.sbu
+    ) * ELEMENT_BYTES
     obs.meta.update(
         kernel=system.kernel.name,
         organization=system.config.describe(),
@@ -239,6 +261,8 @@ def _record_meta(
         last_data_end=system.msu.last_data_end,
         t_pack=timing.t_pack,
         t_rw=timing.t_rw,
+        useful_bytes=useful,
+        transferred_bytes=system.device.bytes_transferred,
     )
 
 

@@ -51,6 +51,7 @@ from typing import (
 
 from repro.errors import SchedulingError
 from repro.obs.core import Instrumentation
+from repro.obs.telemetry import TelemetryProbe, TelemetrySource
 from repro.sim.results import SimulationResult
 
 
@@ -231,6 +232,22 @@ class Simulation:
         self.obs = obs
         self._done = done
         self._deliver = deliver
+        if obs is not None and getattr(obs, "telemetry_window", None):
+            # The probe is passive (it cannot mask a deadlock) and only
+            # forces window-boundary visits, which the dense/skip
+            # equivalence contract proves cannot change results.
+            self.components.append(
+                TelemetryProbe(
+                    obs.telemetry_window,  # type: ignore[arg-type]
+                    obs.metrics,
+                    tuple(
+                        component
+                        for component in self.components
+                        if isinstance(component, TelemetrySource)
+                    ),
+                    pending_events=self.scheduler.__len__,
+                )
+            )
         # Per-cycle hot path: precompute which components count as
         # forward progress so _next_cycle avoids getattr each visit.
         self._progress_pairs: List[Tuple[Component, bool]] = [

@@ -238,6 +238,11 @@ class RunSpec:
     Note that runtime instrumentation (the ``obs`` argument of
     :func:`simulate`) is deliberately *not* part of the spec: it does
     not change the simulated outcome, only what is recorded about it.
+    ``telemetry_window`` rides along the same way: it is serialized by
+    :meth:`to_dict` so sweep definitions carry it, but excluded from
+    :meth:`canonical_key` — telemetry never changes the simulated
+    outcome, so a windowed spec shares its cache entry with the plain
+    one.
     """
 
     kernel: Union[str, Kernel] = "daxpy"
@@ -251,8 +256,14 @@ class RunSpec:
     refresh: bool = False
     interleaving: Optional[Union[str, Interleaving]] = None
     page_policy: Optional[Union[str, PagePolicy]] = None
+    telemetry_window: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.telemetry_window is not None and self.telemetry_window <= 0:
+            raise ConfigurationError(
+                "telemetry window must be positive, got "
+                f"{self.telemetry_window}"
+            )
         kernel = self.kernel
         if isinstance(kernel, Kernel) and KERNELS.get(kernel.name) == kernel:
             object.__setattr__(self, "kernel", kernel.name)
@@ -389,6 +400,8 @@ class RunSpec:
             data["interleaving"] = self.interleaving
         if self.page_policy is not None:
             data["page_policy"] = self.page_policy
+        if self.telemetry_window is not None:
+            data["telemetry_window"] = self.telemetry_window
         return data
 
     @classmethod
@@ -413,10 +426,13 @@ class RunSpec:
         Two specs describing the same work — however their kernel,
         organization, or policy was originally spelled — produce the
         same key.  This is what the result cache hashes.
+        ``telemetry_window`` is excluded: sampling never changes the
+        simulated outcome, so a windowed spec shares the plain spec's
+        cache entry.
         """
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        data = self.to_dict()
+        data.pop("telemetry_window", None)
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     def describe(self) -> str:
         """Short human-readable label (for progress lines and errors)."""
@@ -469,6 +485,10 @@ def simulate(
             hit = cache.get(spec)
             if hit is not None:
                 return hit
+    elif spec.telemetry_window is not None and obs.telemetry_window is None:
+        # The spec carries the sampling request; an explicitly windowed
+        # Instrumentation wins over the spec's setting.
+        obs.telemetry_window = spec.telemetry_window
     kernel_obj = (
         get_kernel(spec.kernel) if isinstance(spec.kernel, str) else spec.kernel
     )
@@ -506,6 +526,7 @@ def simulate_kernel(
     refresh: bool = False,
     interleaving: Optional[Union[str, Interleaving]] = None,
     page_policy: Optional[Union[str, PagePolicy]] = None,
+    telemetry_window: Optional[int] = None,
     obs: Optional[Instrumentation] = None,
 ) -> SimulationResult:
     """Simulate one streaming kernel on an SMC-equipped RDRAM system.
@@ -533,6 +554,10 @@ def simulate_kernel(
         page_policy: Optional registered page-management policy name
             (e.g. "timeout", "hybrid") overriding the organization's
             own choice.
+        telemetry_window: Optional sampling period in cycles; applied
+            to ``obs`` (when given without a window of its own) so the
+            run emits windowed time series (see
+            :mod:`repro.obs.telemetry`).
         obs: Optional :class:`~repro.obs.core.Instrumentation` to
             record counters, spans and DATA-bus gaps for this run (see
             :mod:`repro.obs`).  Default None costs nothing.
@@ -558,5 +583,6 @@ def simulate_kernel(
         refresh=refresh,
         interleaving=interleaving,
         page_policy=page_policy,
+        telemetry_window=telemetry_window,
     )
     return simulate(spec, obs=obs)
