@@ -1,11 +1,15 @@
 #!/usr/bin/env python
 """Produce ``BENCH_core.json``: simulator throughput per controller.
 
-Runs a small kernel x controller matrix end-to-end on the shared
-discrete-event simulation kernel and records best-of-N wall-clock and
-simulated cycles per second for each point.  CI runs this after the
-pytest-benchmark suites and uploads the JSON as a PR artifact so the
-cost of the simulation substrate is tracked over time.
+Runs a small kernel x controller x engine matrix end-to-end and
+records best-of-N wall-clock and simulated cycles per second for each
+point.  Every controller is measured on both the shared discrete-event
+simulation kernel (``engine=event``) and the vectorized batch fast
+path (``engine=batch``); each point records which engine produced it
+so ``bench_compare.py`` never diffs one engine against the other.  CI
+runs this after the pytest-benchmark suites and uploads the JSON as a
+PR artifact so the cost of the simulation substrate is tracked over
+time.
 
 Usage::
 
@@ -31,9 +35,11 @@ from repro.cpu.kernels import KERNELS
 from repro.memsys.config import MemorySystemConfig
 from repro.naturalorder.controller import NaturalOrderController
 from repro.naturalorder.random_driver import RandomAccessDriver
+from repro.sim.batch import run_smc_batch
 from repro.sim.engine import run_smc
 
 BENCH_KERNELS = ("copy", "daxpy", "vaxpy")
+BENCH_ENGINES = ("event", "batch")
 
 
 def _git_sha() -> str:
@@ -48,35 +54,37 @@ def _git_sha() -> str:
     return out.stdout.strip() or "unknown"
 
 
-def _controllers(length: int) -> Dict[str, Callable[[str, str], object]]:
-    """Map controller name -> callable(kernel, org) -> SimulationResult."""
+def _controllers(length: int) -> Dict[str, Callable[[str, str, str], object]]:
+    """Map controller name -> callable(kernel, org, engine) -> result."""
 
-    def smc(kernel: str, org: str):
+    def smc(kernel: str, org: str, engine: str):
+        config = getattr(MemorySystemConfig, org)()
+        if engine == "batch":
+            return run_smc_batch(
+                KERNELS[kernel], config, length=length, fifo_depth=64
+            )
         system = build_smc_system(
-            KERNELS[kernel],
-            getattr(MemorySystemConfig, org)(),
-            length=length,
-            fifo_depth=64,
+            KERNELS[kernel], config, length=length, fifo_depth=64
         )
         return run_smc(system)
 
-    def natural(kernel: str, org: str):
+    def natural(kernel: str, org: str, engine: str):
         controller = NaturalOrderController(getattr(MemorySystemConfig, org)())
-        return controller.run(KERNELS[kernel], length=length)
+        return controller.run(KERNELS[kernel], length=length, engine=engine)
 
-    def cached(kernel: str, org: str):
+    def cached(kernel: str, org: str, engine: str):
         controller = CachedNaturalOrderController(
             getattr(MemorySystemConfig, org)()
         )
-        return controller.run(KERNELS[kernel], length=length)
+        return controller.run(KERNELS[kernel], length=length, engine=engine)
 
-    def l2stream(kernel: str, org: str):
+    def l2stream(kernel: str, org: str, engine: str):
         controller = L2StreamingController(getattr(MemorySystemConfig, org)())
-        return controller.run(KERNELS[kernel], length=length)
+        return controller.run(KERNELS[kernel], length=length, engine=engine)
 
-    def random(kernel: str, org: str):
+    def random(kernel: str, org: str, engine: str):
         driver = RandomAccessDriver(getattr(MemorySystemConfig, org)())
-        return driver.run(length, seed=7)
+        return driver.run(length, seed=7, engine=engine)
 
     return {
         "smc": smc,
@@ -88,22 +96,24 @@ def _controllers(length: int) -> Dict[str, Callable[[str, str], object]]:
 
 
 def bench_point(
-    run: Callable[[str, str], object],
+    run: Callable[[str, str, str], object],
     kernel: str,
     org: str,
+    engine: str,
     repeats: int,
 ) -> Dict[str, object]:
     best = float("inf")
     cycles = 0
     for _ in range(repeats):
         start = time.perf_counter()
-        result = run(kernel, org)
+        result = run(kernel, org, engine)
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         cycles = result.cycles
     return {
         "kernel": kernel,
         "organization": org,
+        "engine": engine,
         "repeats": repeats,
         "wall_ms": round(best * 1e3, 3),
         "simulated_cycles": cycles,
@@ -122,17 +132,20 @@ def main(argv: List[str] | None = None) -> int:
     for name, run in _controllers(args.length).items():
         for kernel in BENCH_KERNELS:
             for org in ("cli", "pi"):
-                point = bench_point(run, kernel, org, args.repeats)
-                point["controller"] = name
-                results.append(point)
-                print(
-                    f"{name:22s} {kernel:8s} {org:4s} "
-                    f"{point['wall_ms']:9.3f} ms  "
-                    f"{point['cycles_per_second']:>10,} cyc/s"
-                )
+                for engine in BENCH_ENGINES:
+                    point = bench_point(
+                        run, kernel, org, engine, args.repeats
+                    )
+                    point["controller"] = name
+                    results.append(point)
+                    print(
+                        f"{name:22s} {kernel:8s} {org:4s} {engine:6s} "
+                        f"{point['wall_ms']:9.3f} ms  "
+                        f"{point['cycles_per_second']:>10,} cyc/s"
+                    )
 
     report = {
-        "schema": "bench-core/2",
+        "schema": "bench-core/3",
         "length": args.length,
         "repeats": args.repeats,
         "python": platform.python_version(),

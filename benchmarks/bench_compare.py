@@ -1,8 +1,10 @@
 #!/usr/bin/env python
 """Diff a fresh ``BENCH_core.json`` against the committed baseline.
 
-Matches points by (controller, kernel, organization) and compares
-``cycles_per_second``.  Wall-clock benchmarks on shared CI runners are
+Matches points by (controller, kernel, organization, engine) and
+compares ``cycles_per_second``.  Points from older files without an
+``engine`` field are treated as ``event``, so the batch fast path is
+never silently diffed against the discrete-event kernel.  Wall-clock benchmarks on shared CI runners are
 noisy, so the gate is a tolerance band, not an equality check: the
 exit status is non-zero only when at least one point is slower than
 ``baseline * (1 - tolerance)``.  Speedups and missing/new points are
@@ -24,14 +26,14 @@ import sys
 from typing import Dict, List, Tuple
 
 #: Identity of one benchmark point across runs.
-PointKey = Tuple[str, str, str]
+PointKey = Tuple[str, str, str, str]
 
 #: Default slowdown band: fail only below 75% of baseline throughput.
 DEFAULT_TOLERANCE = 0.25
 
 
 def load_points(path: str) -> Dict[PointKey, dict]:
-    """Read a bench-core JSON file into {(controller, kernel, org): point}."""
+    """Read bench-core JSON into {(controller, kernel, org, engine): point}."""
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
     points: Dict[PointKey, dict] = {}
@@ -40,6 +42,7 @@ def load_points(path: str) -> Dict[PointKey, dict]:
             str(point.get("controller", "?")),
             str(point.get("kernel", "?")),
             str(point.get("organization", "?")),
+            str(point.get("engine", "event")),
         )
         points[key] = point
     return points
@@ -54,7 +57,7 @@ def compare(
     lines: List[str] = []
     regressions: List[str] = []
     header = (
-        f"{'controller':22s} {'kernel':8s} {'org':4s} "
+        f"{'controller':22s} {'kernel':8s} {'org':4s} {'engine':6s} "
         f"{'baseline':>12s} {'fresh':>12s} {'ratio':>7s}"
     )
     lines.append(header)
@@ -62,7 +65,7 @@ def compare(
     for key in sorted(baseline):
         if key not in fresh:
             lines.append(
-                f"{key[0]:22s} {key[1]:8s} {key[2]:4s} "
+                f"{key[0]:22s} {key[1]:8s} {key[2]:4s} {key[3]:6s} "
                 f"{'':>12s} {'(missing)':>12s}"
             )
             continue
@@ -79,12 +82,12 @@ def compare(
                 f"{base_cps:,} ({ratio:.2f}x, tolerance {1 - tolerance:.2f}x)"
             )
         lines.append(
-            f"{key[0]:22s} {key[1]:8s} {key[2]:4s} "
+            f"{key[0]:22s} {key[1]:8s} {key[2]:4s} {key[3]:6s} "
             f"{base_cps:>12,} {new_cps:>12,} {ratio:>6.2f}x{flag}"
         )
     for key in sorted(set(fresh) - set(baseline)):
         lines.append(
-            f"{key[0]:22s} {key[1]:8s} {key[2]:4s} "
+            f"{key[0]:22s} {key[1]:8s} {key[2]:4s} {key[3]:6s} "
             f"{'(new)':>12s} "
             f"{fresh[key].get('cycles_per_second') or 0:>12,}"
         )

@@ -13,7 +13,7 @@ Run: python examples/custom_policy.py
 
 from typing import Optional
 
-from repro import KERNELS, SchedulingPolicy, simulate_kernel
+from repro import KERNELS, RunSpec, SchedulingPolicy, simulate
 from repro.core.sbu import StreamBufferUnit
 from repro.rdram.device import RdramDevice
 
@@ -55,10 +55,10 @@ def main() -> None:
         for org in ("cli", "pi"):
             row = f"{kernel_name:8s} {org:4s}"
             for policy in policies:
-                result = simulate_kernel(
+                result = simulate(RunSpec(
                     KERNELS[kernel_name], org, length=1024, fifo_depth=64,
                     policy=policy,
-                )
+                ))
                 row += f" {result.percent_of_peak:13.1f}%"
             print(row)
     print("\nAll three deliver the same data (the engine verifies every")

@@ -14,7 +14,7 @@ agree (long vectors) and where the startup delay flips the answer
 Run: python examples/fifo_depth_tuning.py
 """
 
-from repro import KERNELS, MemorySystemConfig, simulate_kernel, smc_bound
+from repro import KERNELS, MemorySystemConfig, RunSpec, simulate, smc_bound
 
 DEPTHS = (8, 16, 32, 64, 128)
 
@@ -26,9 +26,9 @@ def best_depth(kernel_name: str, org: str, length: int):
     simulated = {}
     bounded = {}
     for depth in DEPTHS:
-        simulated[depth] = simulate_kernel(
+        simulated[depth] = simulate(RunSpec(
             kernel, config, length=length, fifo_depth=depth
-        ).percent_of_peak
+        )).percent_of_peak
         bounded[depth] = smc_bound(
             config,
             kernel.num_read_streams,

@@ -12,7 +12,7 @@ sustain at 30 frames per second.
 Run: python examples/multimedia_decode.py
 """
 
-from repro import KERNELS, simulate_kernel
+from repro import KERNELS, RunSpec, simulate
 
 FPS = 30
 BYTES_PER_PIXEL = 2  # 16-bit YUV
@@ -31,9 +31,9 @@ def main() -> None:
         kernel = KERNELS[kernel_name]
         print(f"stage: {stage_name}  [{kernel.expression}]")
         for org in ("cli", "pi"):
-            result = simulate_kernel(
+            result = simulate(RunSpec(
                 kernel, org, length=1024, fifo_depth=128
-            )
+            ))
             bandwidth = result.effective_bandwidth_bytes_per_sec
             pixels_per_frame = bandwidth / (FPS * passes * BYTES_PER_PIXEL)
             # Report as square-ish 16:9 resolution.

@@ -11,7 +11,7 @@ stands as stride grows.
 Run: python examples/scientific_strides.py
 """
 
-from repro import KERNELS, MemorySystemConfig, natural_order_bound, simulate_kernel
+from repro import KERNELS, MemorySystemConfig, RunSpec, natural_order_bound, simulate
 
 STRIDES = (1, 2, 4, 8, 16, 32, 64)
 
@@ -29,9 +29,9 @@ def main() -> None:
         row = f"{stride:6d}"
         for org in ("cli", "pi"):
             config = getattr(MemorySystemConfig, org)()
-            smc = simulate_kernel(
+            smc = simulate(RunSpec(
                 kernel, config, length=1024, fifo_depth=128, stride=stride
-            )
+            ))
             cache = natural_order_bound(
                 config,
                 kernel.num_read_streams,

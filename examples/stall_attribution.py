@@ -16,14 +16,15 @@ Perfetto (https://ui.perfetto.dev).
 Run: python examples/stall_attribution.py
 """
 
-from repro import Instrumentation, attribute_stalls, simulate_kernel
+from repro import Instrumentation, RunSpec, attribute_stalls, simulate
 from repro.obs.export import write_chrome_trace
 
 
 def attribute(kernel: str, org: str, **kwargs) -> None:
     obs = Instrumentation()
-    result = simulate_kernel(kernel, org, length=1024, fifo_depth=64,
-                             obs=obs, **kwargs)
+    result = simulate(
+        RunSpec(kernel, org, length=1024, fifo_depth=64, **kwargs), obs=obs
+    )
     stalls = attribute_stalls(obs)
     print(f"--- {kernel} on {result.organization} "
           f"({result.percent_of_peak:.2f}% of peak) ---")
@@ -43,7 +44,7 @@ def main() -> None:
 
     # Everything above is also exportable for interactive inspection.
     obs = Instrumentation()
-    result = simulate_kernel("vaxpy", "pi", length=1024, obs=obs)
+    result = simulate(RunSpec("vaxpy", "pi", length=1024), obs=obs)
     stalls = attribute_stalls(obs)
     events = write_chrome_trace("/tmp/repro_vaxpy_trace.json", obs,
                                 stalls=stalls.as_dict())

@@ -11,9 +11,16 @@ harness regenerating every table and figure.
 
 Quickstart::
 
-    from repro import simulate_kernel
-    result = simulate_kernel("daxpy", "pi", length=1024, fifo_depth=64)
-    print(result.percent_of_peak)
+    from repro import RunSpec, simulate
+    spec = RunSpec(kernel="daxpy", organization="pi",
+                   length=1024, fifo_depth=64)
+    print(simulate(spec).percent_of_peak)
+
+:func:`simulate` is the single simulation entry point.  It runs on a
+selectable engine — ``engine="event"`` (the discrete-event kernel),
+``"batch"`` (a bit-identical vectorized fast path), or ``"auto"`` (the
+default: batch whenever the spec supports it).  ``simulate_kernel`` is
+a deprecated keyword-style wrapper kept for existing callers.
 """
 
 from repro.cache import (
@@ -91,6 +98,7 @@ from repro.rdram import (
     audit_trace,
 )
 from repro.sim import (
+    ENGINES,
     EventScheduler,
     ResultBuilder,
     RunSpec,
@@ -99,9 +107,12 @@ from repro.sim import (
     Sweep,
     TraceMetrics,
     bank_imbalance,
+    default_engine,
+    list_engines,
     measure_trace,
     pivot,
     run_smc,
+    set_default_engine,
     simulate,
     simulate_kernel,
     sweep,
@@ -173,6 +184,7 @@ __all__ = [
     "RdramGeometry",
     "RdramTiming",
     "audit_trace",
+    "ENGINES",
     "EventScheduler",
     "ResultBuilder",
     "RunSpec",
@@ -181,9 +193,12 @@ __all__ = [
     "Sweep",
     "TraceMetrics",
     "bank_imbalance",
+    "default_engine",
+    "list_engines",
     "measure_trace",
     "pivot",
     "run_smc",
+    "set_default_engine",
     "simulate",
     "simulate_kernel",
     "sweep",

@@ -21,7 +21,8 @@ from repro.cpu.streams import Alignment
 from repro.analytic.smc import smc_bound
 from repro.memsys.config import MemorySystemConfig
 from repro.sim.results import SimulationResult
-from repro.sim.runner import resolve_config, simulate_kernel
+from repro.sim.runner import RunSpec, resolve_config
+from repro.sim.runner import simulate as _simulate
 
 #: FIFO depths a hardware SMC plausibly implements.
 CANDIDATE_DEPTHS: Tuple[int, ...] = (8, 16, 32, 64, 128, 256)
@@ -85,9 +86,11 @@ def choose_fifo_depth(
     best_score = -1.0
     for depth in candidates:
         if simulate:
-            score = simulate_kernel(
-                kernel, config, length=length, fifo_depth=depth, stride=stride
-            ).percent_of_peak
+            spec = RunSpec(
+                kernel=kernel, organization=config,
+                length=length, fifo_depth=depth, stride=stride,
+            )
+            score = _simulate(spec).percent_of_peak
         else:
             score = smc_bound(
                 config,
@@ -124,9 +127,10 @@ def simulate_loop(
         stride: Computation stride.
         alignment: Vector placement.
         index: Loop induction variable name.
-        **simulate_kwargs: Forwarded to
-            :func:`repro.sim.runner.simulate_kernel` (policy, audit,
-            refresh, ...).
+        **simulate_kwargs: Extra :class:`~repro.sim.runner.RunSpec`
+            fields (policy, audit, refresh, engine, ...) plus an
+            optional ``obs`` instrumentation, forwarded to
+            :func:`repro.sim.runner.simulate`.
 
     Returns:
         The simulation result.
@@ -136,12 +140,14 @@ def simulate_loop(
         fifo_depth = choose_fifo_depth(
             kernel, organization, length=length, stride=stride
         )
-    return simulate_kernel(
-        kernel,
-        organization,
+    obs = simulate_kwargs.pop("obs", None)
+    spec = RunSpec(
+        kernel=kernel,
+        organization=organization,
         length=length,
         fifo_depth=fifo_depth,
         stride=stride,
         alignment=alignment,
         **simulate_kwargs,
     )
+    return _simulate(spec, obs=obs)

@@ -120,6 +120,7 @@ class L2StreamingController:
         alignment: Alignment = Alignment.STAGGERED,
         max_cycles: Optional[int] = None,
         dense: bool = False,
+        engine: str = "auto",
     ) -> SimulationResult:
         """Execute one kernel, streaming through the L2.
 
@@ -132,6 +133,8 @@ class L2StreamingController:
                 from the line traffic.
             dense: Visit every cycle in the simulation kernel instead
                 of skipping ahead while waiting on line arrivals.
+            engine: ``"event"``, ``"batch"``, or ``"auto"`` (see
+                :func:`repro.sim.batch.resolve_controller_engine`).
 
         Returns:
             The result; ``fifo_depth`` reports the prefetch window and
@@ -175,26 +178,43 @@ class L2StreamingController:
         if max_cycles is None:
             max_cycles = 20_000 + 200 * sum(len(s.lines) for s in streams)
 
-        engine = _L2Run(self, streams, length)
+        # Imported here, not at module scope: repro.sim.batch pulls in
+        # repro.core for plan building, so a top-level import would be
+        # circular whichever package loads first.
+        from repro.sim.batch import lean_run, resolve_controller_engine
+
+        resolved = resolve_controller_engine(engine, dense=dense)
+        run_state = _L2Run(self, streams, length)
         components: List[Component] = []
         if self.refresh:
             refresh_engine = RefreshEngine(self.device)
             components.append(BackgroundComponent(refresh_engine))
-        components.append(engine)
-        final_cycle = Simulation(
-            components,
-            done=lambda sim: engine.finished,
-            max_cycles=max_cycles,
-            label=f"l2-streaming: kernel={kernel.name}, "
-            f"org={self.config.describe()}",
-            dense=dense,
-        ).run()
+        components.append(run_state)
+        label = (
+            f"l2-streaming: kernel={kernel.name}, "
+            f"org={self.config.describe()}"
+        )
+        if resolved == "batch":
+            final_cycle = lean_run(
+                components,
+                done=lambda: run_state.finished,
+                max_cycles=max_cycles,
+                label=label,
+            )
+        else:
+            final_cycle = Simulation(
+                components,
+                done=lambda sim: run_state.finished,
+                max_cycles=max_cycles,
+                label=label,
+                dense=dense,
+            ).run()
         if self.refresh:
             self.refreshes_issued = refresh_engine.refreshes_issued
 
         # Stream out the remaining dirty lines.
         for line_address in self.l2.flush_dirty_lines():
-            engine.issue_line(line_address, Direction.WRITE, final_cycle)
+            run_state.issue_line(line_address, Direction.WRITE, final_cycle)
             self.writebacks_streamed += 1
 
         useful = len(descriptors) * length * ELEMENT_BYTES
@@ -206,20 +226,20 @@ class L2StreamingController:
             fifo_depth=self.prefetch_window,
             alignment=alignment.value,
             policy="l2-streaming",
-            first_data=engine.first_retire,
-            last_data_end=engine.last_data_end,
-            transactions=engine.transactions,
+            first_data=run_state.first_retire,
+            last_data_end=run_state.last_data_end,
+            transactions=run_state.transactions,
             bank_conflicts=self.refetches,
-            page_hits=engine.page_hits,
-            page_misses=engine.page_misses,
+            page_hits=run_state.page_hits,
+            page_misses=run_state.page_misses,
         )
         return builder.build(
-            cycles=max(engine.last_data_end, engine.last_retire),
+            cycles=max(run_state.last_data_end, run_state.last_retire),
             useful_bytes=useful,
             transferred_bytes=self.device.bytes_transferred,
-            cpu_stall_cycles=engine.stall_cycles,
+            cpu_stall_cycles=run_state.stall_cycles,
             packets_issued=(
-                engine.transactions * self.config.packets_per_cacheline
+                run_state.transactions * self.config.packets_per_cacheline
             ),
             refreshes=self.refreshes_issued,
         )

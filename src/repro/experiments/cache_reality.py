@@ -29,7 +29,7 @@ from repro.cpu.kernels import PAPER_KERNELS, get_kernel
 from repro.experiments.rendering import ExperimentTable
 from repro.memsys.config import MemorySystemConfig
 from repro.naturalorder.controller import NaturalOrderController
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 LENGTH = 1024
 FIFO_DEPTH = 128
@@ -45,8 +45,9 @@ def _row(kernel, config, stride: int):
     four_way = CachedNaturalOrderController(
         config, CacheConfig(associativity=4)
     ).run(kernel, length=LENGTH, stride=stride)
-    smc = simulate_kernel(
-        kernel, config, length=LENGTH, fifo_depth=FIFO_DEPTH, stride=stride
+    smc = simulate(
+        RunSpec(kernel=kernel, organization=config, length=LENGTH,
+                fifo_depth=FIFO_DEPTH, stride=stride)
     )
     return ideal, direct, four_way, smc
 

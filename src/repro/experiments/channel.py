@@ -23,7 +23,7 @@ from repro.memsys.config import MemorySystemConfig
 from repro.naturalorder.controller import NaturalOrderController
 from repro.naturalorder.random_driver import RandomAccessDriver
 from repro.rdram.channel import ChannelGeometry
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 DEVICE_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16)
 
@@ -58,7 +58,10 @@ def run(
             config, queue_depth=RANDOM_QUEUE_DEPTH
         ).run(transactions, seed=seed)
         natural = NaturalOrderController(config).run(DAXPY, length=1024)
-        smc = simulate_kernel(DAXPY, config, length=1024, fifo_depth=64)
+        smc = simulate(
+            RunSpec(kernel=DAXPY, organization=config,
+                    length=1024, fifo_depth=64)
+        )
         table.add_row(
             count,
             random_result.percent_of_peak,

@@ -20,7 +20,7 @@ from repro.analytic.smc import smc_bound
 from repro.cpu.kernels import PAPER_KERNELS
 from repro.experiments.rendering import ExperimentTable
 from repro.memsys.config import MemorySystemConfig
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 DEEP_FIFO = 128
 LONG = 1024
@@ -57,14 +57,20 @@ def run() -> List[ExperimentTable]:
         title="Section 6 — copy on the SMC",
         headers=("configuration", "paper %", "ours %"),
     )
-    long_copy = simulate_kernel("copy", cli, length=LONG, fifo_depth=DEEP_FIFO)
+    long_copy = simulate(
+        RunSpec(kernel="copy", organization=cli,
+                length=LONG, fifo_depth=DEEP_FIFO)
+    )
     copy_smc.add_row("copy, CLI, 1024 elems, f=128 (sim)", ">98", long_copy.percent_of_peak)
     short_bound = smc_bound(cli, 1, 1, SHORT, DEEP_FIFO)
     copy_smc.add_row(
         "copy, CLI, 128 elems, f=128 (startup limit)", "~95",
         short_bound.percent_startup_limit,
     )
-    short_copy = simulate_kernel("copy", cli, length=SHORT, fifo_depth=DEEP_FIFO)
+    short_copy = simulate(
+        RunSpec(kernel="copy", organization=cli,
+                length=SHORT, fifo_depth=DEEP_FIFO)
+    )
     copy_smc.add_row("copy, CLI, 128 elems, f=128 (sim)", "<=~95", short_copy.percent_of_peak)
 
     improvement = ExperimentTable(
@@ -82,8 +88,9 @@ def run() -> List[ExperimentTable]:
                 config, kernel.num_read_streams, kernel.num_write_streams
             ).percent_of_peak
             cache_range.append(cache)
-            smc = simulate_kernel(
-                kernel, config, length=LONG, fifo_depth=DEEP_FIFO
+            smc = simulate(
+                RunSpec(kernel=kernel, organization=config,
+                        length=LONG, fifo_depth=DEEP_FIFO)
             ).percent_of_peak
             factor = smc / cache
             factors.append(factor)

@@ -16,7 +16,7 @@ from repro.cpu.kernels import PAPER_KERNELS, VAXPY, get_kernel
 from repro.cpu.streams import Alignment
 from repro.experiments.rendering import ExperimentTable
 from repro.memsys.config import MemorySystemConfig
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 LENGTH = 1024
 
@@ -42,8 +42,9 @@ def run() -> List[ExperimentTable]:
             narrow_result = narrow.run(kernel, length=LENGTH)
             wide = L2StreamingController(config, prefetch_window=32)
             wide_result = wide.run(kernel, length=LENGTH)
-            fifo = simulate_kernel(
-                kernel, config, length=LENGTH, fifo_depth=32
+            fifo = simulate(
+                RunSpec(kernel=kernel, organization=config,
+                        length=LENGTH, fifo_depth=32)
             )
             comparison.add_row(
                 name,

@@ -17,7 +17,7 @@ from typing import Callable, List, Tuple
 from repro.analytic.cache import natural_order_bound
 from repro.cpu.kernels import PAPER_KERNELS, get_kernel
 from repro.memsys.config import MemorySystemConfig
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 @dataclass(frozen=True)
@@ -52,9 +52,10 @@ def _bound(org: str, s_r: int, s_w: int, stride: int = 1) -> float:
 
 
 def _smc(kernel: str, org: str, depth: int = 128, length: int = 1024) -> float:
-    return simulate_kernel(
-        kernel, org, length=length, fifo_depth=depth
-    ).percent_of_peak
+    spec = RunSpec(
+        kernel=kernel, organization=org, length=length, fifo_depth=depth
+    )
+    return simulate(spec).percent_of_peak
 
 
 def _claims() -> List[Claim]:
@@ -108,8 +109,11 @@ def _claims() -> List[Claim]:
         cache = natural_order_bound(
             MemorySystemConfig.pi(), 3, 1, stride=4
         ).percent_of_attainable
-        smc = simulate_kernel(
-            "vaxpy", "pi", length=1024, fifo_depth=128, stride=4
+        smc = simulate(
+            RunSpec(
+                kernel="vaxpy", organization="pi",
+                length=1024, fifo_depth=128, stride=4,
+            )
         ).percent_of_attainable
         ratio = smc / cache
         # "up to 2.2x" is a ceiling claim; we land a bit above it.

@@ -43,6 +43,7 @@ from repro.obs.telemetry import finalize_telemetry
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
 from repro.rdram.refresh import RefreshEngine
+from repro.sim.batch import lean_run, resolve_controller_engine
 from repro.sim.kernel import (
     BackgroundComponent,
     Component,
@@ -99,33 +100,49 @@ class NaturalOrderController:
         label: str,
         dense: bool,
         obs: Optional[Instrumentation] = None,
+        engine: str = "auto",
     ) -> None:
         """Drive ``steps`` through the shared simulation kernel.
 
         One kernel run per controller run: an optional background
         refresh engine plus a :class:`TransactionPump` resuming the
-        controller's transaction generator at each start cycle.
+        controller's transaction generator at each start cycle.  With
+        ``engine="batch"`` (or ``"auto"`` when neither instrumentation
+        nor dense mode is requested) the same components run on the
+        heapless :func:`repro.sim.batch.lean_run` loop instead.
         """
+        resolved = resolve_controller_engine(
+            engine, instrumented=obs is not None, dense=dense
+        )
         self.refreshes_issued = 0
         components: List[Component] = []
         if self.refresh:
-            engine = RefreshEngine(self.device)
-            components.append(BackgroundComponent(engine))
+            refresh_engine = RefreshEngine(self.device)
+            components.append(BackgroundComponent(refresh_engine))
         pump = TransactionPump(
             steps,
             on_attach_obs=lambda o: setattr(self.device, "obs", o),
         )
         components.append(pump)
-        Simulation(
-            components,
-            done=lambda sim: pump.done,
-            max_cycles=20_000 + 500 * max(max_steps, 1),
-            label=label,
-            dense=dense,
-            obs=obs,
-        ).run()
+        max_cycles = 20_000 + 500 * max(max_steps, 1)
+        if resolved == "batch":
+            lean_run(
+                components,
+                done=lambda: pump.done,
+                max_cycles=max_cycles,
+                label=label,
+            )
+        else:
+            Simulation(
+                components,
+                done=lambda sim: pump.done,
+                max_cycles=max_cycles,
+                label=label,
+                dense=dense,
+                obs=obs,
+            ).run()
         if self.refresh:
-            self.refreshes_issued = engine.refreshes_issued
+            self.refreshes_issued = refresh_engine.refreshes_issued
 
     def run(
         self,
@@ -136,6 +153,7 @@ class NaturalOrderController:
         descriptors: Optional[List[StreamDescriptor]] = None,
         obs: Optional[Instrumentation] = None,
         dense: bool = False,
+        engine: str = "auto",
     ) -> SimulationResult:
         """Execute one kernel and report effective bandwidth.
 
@@ -151,6 +169,8 @@ class NaturalOrderController:
             dense: Visit every cycle in the simulation kernel instead
                 of skipping to the next transaction start (the
                 property tests assert both modes agree).
+            engine: ``"event"``, ``"batch"``, or ``"auto"`` (see
+                :func:`repro.sim.batch.resolve_controller_engine`).
 
         Returns:
             The result; ``useful_bytes`` counts stream elements only,
@@ -182,6 +202,7 @@ class NaturalOrderController:
             f"org={self.config.describe()}",
             dense=dense,
             obs=obs,
+            engine=engine,
         )
 
         useful = len(descriptors) * length * ELEMENT_BYTES

@@ -28,6 +28,7 @@ from repro.naturalorder.controller import MAX_OUTSTANDING
 from repro.rdram.channel import make_memory
 from repro.rdram.packets import BusDirection
 from repro.rdram.refresh import RefreshEngine
+from repro.sim.batch import lean_run, resolve_controller_engine
 from repro.sim.kernel import (
     BackgroundComponent,
     Component,
@@ -78,6 +79,7 @@ class RandomAccessDriver:
         write_fraction: float = 0.0,
         seed: int = 1,
         dense: bool = False,
+        engine: str = "auto",
     ) -> SimulationResult:
         """Execute random cacheline transactions and report bandwidth.
 
@@ -87,6 +89,8 @@ class RandomAccessDriver:
             seed: PRNG seed (runs are deterministic per seed).
             dense: Visit every cycle in the simulation kernel instead
                 of skipping to the next transaction start.
+            engine: ``"event"``, ``"batch"``, or ``"auto"`` (see
+                :func:`repro.sim.batch.resolve_controller_engine`).
 
         Returns:
             A result whose ``percent_of_peak`` is the channel
@@ -105,28 +109,36 @@ class RandomAccessDriver:
             alignment="random",
             policy=f"random-q{self.queue_depth}",
         )
+        resolved = resolve_controller_engine(engine, dense=dense)
         components: List[Component] = []
         if self.refresh:
-            engine = RefreshEngine(self.device)
-            components.append(BackgroundComponent(engine))
+            refresh_engine = RefreshEngine(self.device)
+            components.append(BackgroundComponent(refresh_engine))
         pump = TransactionPump(
             self._transaction_steps(
                 num_transactions, write_fraction, seed, builder
             )
         )
         components.append(pump)
-        Simulation(
-            components,
-            done=lambda sim: pump.done,
-            max_cycles=20_000 + 500 * max(num_transactions, 1),
-            label=(
-                f"random-q{self.queue_depth}: "
-                f"org={self.config.describe()}"
-            ),
-            dense=dense,
-        ).run()
+        max_cycles = 20_000 + 500 * max(num_transactions, 1)
+        label = f"random-q{self.queue_depth}: org={self.config.describe()}"
+        if resolved == "batch":
+            lean_run(
+                components,
+                done=lambda: pump.done,
+                max_cycles=max_cycles,
+                label=label,
+            )
+        else:
+            Simulation(
+                components,
+                done=lambda sim: pump.done,
+                max_cycles=max_cycles,
+                label=label,
+                dense=dense,
+            ).run()
         if self.refresh:
-            self.refreshes_issued = engine.refreshes_issued
+            self.refreshes_issued = refresh_engine.refreshes_issued
 
         moved = self.device.bytes_transferred
         return builder.build(

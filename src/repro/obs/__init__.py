@@ -6,10 +6,10 @@ a simulation entry point, then attribute stalls or export the run::
 
     from repro.obs import Instrumentation, attribute_stalls
     from repro.obs.export import write_chrome_trace
-    from repro.sim.runner import simulate_kernel
+    from repro.sim.runner import RunSpec, simulate
 
     obs = Instrumentation()
-    result = simulate_kernel("daxpy", "pi", obs=obs)
+    result = simulate(RunSpec(kernel="daxpy", organization="pi"), obs=obs)
     stalls = attribute_stalls(obs)
     print(stalls.table())
     write_chrome_trace("trace.json", obs, stalls=stalls.as_dict())
@@ -18,7 +18,7 @@ Time-series telemetry rides on the same object: construct it with a
 sampling window and windowed series land in ``obs.metrics``::
 
     obs = Instrumentation(telemetry_window=256)
-    result = simulate_kernel("daxpy", "pi", obs=obs)
+    result = simulate(RunSpec(kernel="daxpy", organization="pi"), obs=obs)
     series = obs.metrics.series("telemetry.data_bus_utilization")
 
 See :mod:`repro.obs.core` for the primitives,

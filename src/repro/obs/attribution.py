@@ -255,7 +255,7 @@ def attribute_stalls(
         raise ObservabilityError(
             "stall attribution needs a completed instrumented run: "
             "'cycles' and 'last_data_end' metadata are missing "
-            "(pass the Instrumentation to run_smc / simulate_kernel "
+            "(pass the Instrumentation to run_smc / simulate "
             "before attributing)"
         )
     cycles = int(cycles)

@@ -7,7 +7,7 @@ None`` check, so uninstrumented runs pay one predictable branch per
 hook site and allocate nothing.  To instrument a run, construct an
 :class:`Instrumentation` and pass it to
 :func:`repro.sim.engine.run_smc` (or
-:func:`repro.sim.runner.simulate_kernel`, or
+:func:`repro.sim.runner.simulate`, or
 :class:`repro.naturalorder.controller.NaturalOrderController`); the
 engine wires it to every component for you.
 

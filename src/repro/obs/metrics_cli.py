@@ -245,15 +245,17 @@ def _sparkline(values: Sequence[float], lo: float, hi: float) -> str:
 
 def _run(args: argparse.Namespace) -> int:
     from repro.obs.core import Instrumentation
-    from repro.sim.runner import simulate_kernel
+    from repro.sim.runner import RunSpec, simulate
 
     obs = Instrumentation(telemetry_window=args.window)
-    result = simulate_kernel(
-        args.kernel,
-        args.org,
-        length=args.length,
-        fifo_depth=args.fifo_depth,
-        stride=args.stride,
+    result = simulate(
+        RunSpec(
+            kernel=args.kernel,
+            organization=args.org,
+            length=args.length,
+            fifo_depth=args.fifo_depth,
+            stride=args.stride,
+        ),
         obs=obs,
     )
     print(result.summary())

@@ -39,6 +39,7 @@ from repro.obs.metrics import write_metrics_jsonl
 from repro.rdram.audit import audit_trace
 from repro.rdram.tracefmt import render_trace
 from repro.exec import execution
+from repro.sim.batch import ENGINES, list_engines
 from repro.sim.engine import run_smc
 from repro.sim.metrics import bank_imbalance, measure_trace
 from repro.sim.runner import (
@@ -92,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list registered address mappings, page "
                              "policies, and MSU scheduling policies, "
                              "then exit")
+    parser.add_argument("--engine", default="auto",
+                        choices=ENGINES,
+                        help="simulation engine: the discrete-event "
+                             "kernel, the vectorized batch fast path, "
+                             "or auto selection (default auto)")
+    parser.add_argument("--list-engines", action="store_true",
+                        help="list the simulation engines, then exit")
     parser.add_argument("--baseline", default=None,
                         choices=("natural-order", "cached", "l2-streaming"),
                         help="run a traditional controller instead of "
@@ -201,6 +209,9 @@ def _run(args) -> int:
     if args.list_policies:
         print(list_policies())
         return 0
+    if args.list_engines:
+        print(list_engines())
+        return 0
     if args.kernel is None:
         raise ConfigurationError(
             "a kernel is required (or use --list-policies); "
@@ -250,6 +261,7 @@ def _run(args) -> int:
             stride=args.stride,
             alignment=Alignment(args.alignment),
             obs=obs,
+            engine=args.engine,
         )
         trace = controller.device.trace
     elif args.baseline == "cached":
@@ -261,6 +273,7 @@ def _run(args) -> int:
             length=args.length,
             stride=args.stride,
             alignment=Alignment(args.alignment),
+            engine=args.engine,
         )
         trace = controller.device.trace
     elif args.baseline == "l2-streaming":
@@ -272,6 +285,7 @@ def _run(args) -> int:
             length=args.length,
             stride=args.stride,
             alignment=Alignment(args.alignment),
+            engine=args.engine,
         )
         trace = controller.device.trace
     elif not need_trace and not need_obs:
@@ -286,11 +300,19 @@ def _run(args) -> int:
             alignment=args.alignment,
             policy=args.policy,
             refresh=args.refresh,
+            engine=args.engine,
         )
         with execution(cache=args.cache):
             result = simulate(spec)
         trace = None
     else:
+        if args.engine == "batch":
+            raise ConfigurationError(
+                "engine 'batch' cannot run this spec: trace recording "
+                "and instrumentation need the event kernel (drop "
+                "--gantt/--metrics/--audit/--stats/--trace-out/"
+                "--telemetry/--metrics-out, or use --engine auto)"
+            )
         system = build_smc_system(
             kernel,
             config,

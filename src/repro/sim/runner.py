@@ -1,20 +1,30 @@
 """One-call simulation API.
 
-Two front doors, one engine:
+:class:`RunSpec` + :func:`simulate` are the canonical front door: a
+frozen, hashable, JSON-serializable description of one simulation,
+executed on a selectable engine.  The result cache and the
+process-pool sweep backend (:mod:`repro.exec`) are both keyed on
+:meth:`RunSpec.canonical_key`, which deliberately excludes the engine
+choice — both engines are bit-identical, so they share cache entries.
 
-* :class:`RunSpec` + :func:`simulate` — the canonical API.  A frozen,
-  hashable, JSON-serializable description of one simulation; the
-  result cache and the process-pool sweep backend (:mod:`repro.exec`)
-  are both keyed on :meth:`RunSpec.canonical_key`.
-* :func:`simulate_kernel` — the historical keyword interface, kept as
-  a thin wrapper that builds a :class:`RunSpec` and calls
-  :func:`simulate`.
+Engines (see :mod:`repro.sim.batch`):
+
+* ``"event"`` — the discrete-event kernel; supports every
+  configuration, instrumentation, and auditing.
+* ``"batch"`` — the vectorized fast path; bit-identical on the core
+  configurations, several times faster.
+* ``"auto"`` (default) — batch when the spec supports it, else event.
+
+:func:`simulate_kernel` is the historical keyword interface, kept as a
+deprecated thin wrapper that builds a :class:`RunSpec` and calls
+:func:`simulate`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Union
 
@@ -30,8 +40,35 @@ from repro.obs.core import Instrumentation
 from repro.rdram.channel import ChannelGeometry
 from repro.rdram.device import RdramGeometry
 from repro.rdram.timing import RdramTiming
+from repro.sim.batch import canonical_engine, resolve_engine, run_smc_batch
 from repro.sim.engine import run_smc
 from repro.sim.results import SimulationResult
+
+#: Ambient engine default used when a spec says "auto"; see
+#: :func:`set_default_engine`.
+_DEFAULT_ENGINE = "auto"
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide engine used when specs say ``"auto"``.
+
+    CLIs use this to make one ``--engine`` flag govern every run they
+    launch without threading the choice through each call site.
+    Specs with an explicit ``engine="event"``/``"batch"`` are not
+    affected.
+
+    Returns:
+        The previous default (so callers can restore it).
+    """
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = canonical_engine(engine)
+    return previous
+
+
+def default_engine() -> str:
+    """The current process-wide ``"auto"`` engine resolution."""
+    return _DEFAULT_ENGINE
 
 #: Named organizations matching the paper's two design points.
 ORGANIZATIONS = {
@@ -211,7 +248,7 @@ def _kernel_from_dict(data: Mapping[str, Any]) -> Kernel:
 class RunSpec:
     """Everything that determines one simulation's outcome.
 
-    A frozen record of the :func:`simulate_kernel` parameters.  On
+    A frozen record of one simulation's parameters.  On
     construction, values are normalized to their canonical form where
     one exists — a registered :class:`~repro.cpu.kernels.Kernel`
     becomes its name, a config equal to the paper's CLI/PI design
@@ -242,7 +279,10 @@ class RunSpec:
     :meth:`to_dict` so sweep definitions carry it, but excluded from
     :meth:`canonical_key` — telemetry never changes the simulated
     outcome, so a windowed spec shares its cache entry with the plain
-    one.
+    one.  ``engine`` follows the same rule: the two engines are
+    bit-identical wherever both run, so the choice is serialized (a
+    sweep definition pins its engine across worker processes) but
+    never part of the cache identity.
     """
 
     kernel: Union[str, Kernel] = "daxpy"
@@ -257,6 +297,7 @@ class RunSpec:
     interleaving: Optional[Union[str, Interleaving]] = None
     page_policy: Optional[Union[str, PagePolicy]] = None
     telemetry_window: Optional[int] = None
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.telemetry_window is not None and self.telemetry_window <= 0:
@@ -264,6 +305,7 @@ class RunSpec:
                 "telemetry window must be positive, got "
                 f"{self.telemetry_window}"
             )
+        object.__setattr__(self, "engine", canonical_engine(self.engine))
         kernel = self.kernel
         if isinstance(kernel, Kernel) and KERNELS.get(kernel.name) == kernel:
             object.__setattr__(self, "kernel", kernel.name)
@@ -402,6 +444,8 @@ class RunSpec:
             data["page_policy"] = self.page_policy
         if self.telemetry_window is not None:
             data["telemetry_window"] = self.telemetry_window
+        if self.engine != "auto":
+            data["engine"] = self.engine
         return data
 
     @classmethod
@@ -426,12 +470,14 @@ class RunSpec:
         Two specs describing the same work — however their kernel,
         organization, or policy was originally spelled — produce the
         same key.  This is what the result cache hashes.
-        ``telemetry_window`` is excluded: sampling never changes the
-        simulated outcome, so a windowed spec shares the plain spec's
+        ``telemetry_window`` and ``engine`` are excluded: sampling
+        never changes the simulated outcome, and the engines are
+        bit-identical, so windowed/batch specs share the plain spec's
         cache entry.
         """
         data = self.to_dict()
         data.pop("telemetry_window", None)
+        data.pop("engine", None)
         return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     def describe(self) -> str:
@@ -458,9 +504,21 @@ class RunSpec:
 
 
 def simulate(
-    spec: RunSpec, obs: Optional[Instrumentation] = None
+    spec: RunSpec,
+    obs: Optional[Instrumentation] = None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Run the simulation a :class:`RunSpec` describes.
+
+    This is the package's single simulation entry point.  The engine
+    is chosen in order of precedence: the ``engine`` argument, then
+    ``spec.engine``, then — when both say ``"auto"`` — the process
+    default (:func:`set_default_engine`).  A final ``"auto"`` picks
+    the batch fast path whenever the spec supports it and no
+    instrumentation is attached, falling back to the event kernel
+    otherwise; requesting ``"batch"`` explicitly raises
+    :class:`~repro.errors.ConfigurationError` instead of falling back.
+    Both engines produce bit-identical results.
 
     If a result cache is active (via
     :func:`repro.exec.context.execution`) and holds this spec, the
@@ -472,10 +530,15 @@ def simulate(
         spec: The full run specification.
         obs: Optional :class:`~repro.obs.core.Instrumentation` to
             record counters, spans and DATA-bus gaps for this run.
+        engine: Optional ``"event"``/``"batch"``/``"auto"`` override
+            of ``spec.engine`` for this call.
 
     Returns:
         The simulation result, including percent-of-peak bandwidth.
     """
+    choice = canonical_engine(engine) if engine is not None else spec.engine
+    if choice == "auto":
+        choice = _DEFAULT_ENGINE
     cache = None
     if obs is None:
         from repro.exec.context import active_cache
@@ -497,18 +560,36 @@ def simulate(
         interleaving=spec.interleaving,
         page_policy=spec.page_policy,
     )
-    system = build_smc_system(
-        kernel_obj,
+    resolved = resolve_engine(
+        choice,
         config,
-        length=spec.length,
-        fifo_depth=spec.fifo_depth,
-        stride=spec.stride,
-        alignment=Alignment(spec.alignment),
-        policy=resolve_policy(spec.policy),
-        record_trace=spec.audit,
-        refresh=spec.refresh,
+        policy=spec.policy,
+        audit=spec.audit,
+        instrumented=obs is not None,
     )
-    result = run_smc(system, audit=spec.audit, obs=obs)
+    if resolved == "batch":
+        result = run_smc_batch(
+            kernel_obj,
+            config,
+            length=spec.length,
+            fifo_depth=spec.fifo_depth,
+            stride=spec.stride,
+            alignment=Alignment(spec.alignment),
+            refresh=spec.refresh,
+        )
+    else:
+        system = build_smc_system(
+            kernel_obj,
+            config,
+            length=spec.length,
+            fifo_depth=spec.fifo_depth,
+            stride=spec.stride,
+            alignment=Alignment(spec.alignment),
+            policy=resolve_policy(spec.policy),
+            record_trace=spec.audit,
+            refresh=spec.refresh,
+        )
+        result = run_smc(system, audit=spec.audit, obs=obs)
     if cache is not None:
         cache.put(spec, result)
     return result
@@ -528,11 +609,14 @@ def simulate_kernel(
     page_policy: Optional[Union[str, PagePolicy]] = None,
     telemetry_window: Optional[int] = None,
     obs: Optional[Instrumentation] = None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Simulate one streaming kernel on an SMC-equipped RDRAM system.
 
-    Keyword-style wrapper over :func:`simulate`; the parameters are
-    packed into a :class:`RunSpec` unchanged.
+    .. deprecated::
+        Build a :class:`RunSpec` and call :func:`simulate` instead;
+        this keyword wrapper packs its parameters into a spec
+        unchanged and will eventually be removed.
 
     Args:
         kernel: Kernel name (see :data:`repro.cpu.kernels.KERNELS`) or
@@ -561,16 +645,24 @@ def simulate_kernel(
         obs: Optional :class:`~repro.obs.core.Instrumentation` to
             record counters, spans and DATA-bus gaps for this run (see
             :mod:`repro.obs`).  Default None costs nothing.
+        engine: ``"event"``, ``"batch"``, or ``"auto"`` (see
+            :func:`simulate`).
 
     Returns:
         The simulation result, including percent-of-peak bandwidth.
 
     Example:
-        >>> result = simulate_kernel("daxpy", "pi", length=1024,
-        ...                          fifo_depth=128)
-        >>> 0 < result.percent_of_peak <= 100
+        >>> spec = RunSpec(kernel="daxpy", organization="pi",
+        ...                length=1024, fifo_depth=128)
+        >>> 0 < simulate(spec).percent_of_peak <= 100
         True
     """
+    warnings.warn(
+        "simulate_kernel() is deprecated; build a RunSpec and call "
+        "simulate(spec) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     spec = RunSpec(
         kernel=kernel,
         organization=organization,
@@ -584,5 +676,6 @@ def simulate_kernel(
         interleaving=interleaving,
         page_policy=page_policy,
         telemetry_window=telemetry_window,
+        engine=engine,
     )
     return simulate(spec, obs=obs)

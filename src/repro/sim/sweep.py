@@ -22,9 +22,9 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.results import SimulationResult
-from repro.sim.runner import RunSpec, simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
-#: Axes simulate_kernel understands, in canonical order.
+#: RunSpec axes a sweep understands, in canonical order.
 AXES = (
     "kernel",
     "organization",
@@ -52,7 +52,7 @@ class Sweep:
     """A cartesian sweep over simulation parameters.
 
     Any keyword accepted by
-    :func:`~repro.sim.runner.simulate_kernel` can be an axis; single
+    :class:`~repro.sim.runner.RunSpec` can be an axis; single
     values and lists are both accepted (single values are broadcast).
 
     Attributes:
@@ -129,9 +129,11 @@ class Sweep:
                     "obs= instrumentation cannot be combined with "
                     "workers=; run instrumented sweeps serially"
                 )
+            fixed = dict(fixed)
+            obs = fixed.pop("obs")
             results = []
             for point in self.points():
-                result = simulate_kernel(**point, **fixed)
+                result = simulate(RunSpec(**point, **fixed), obs=obs)
                 if progress is not None:
                     progress(point, result)
                 results.append(result)
