@@ -1,10 +1,13 @@
 #!/usr/bin/env python
 """Diff a fresh ``BENCH_core.json`` against the committed baseline.
 
-Matches points by (controller, kernel, organization, engine) and
-compares ``cycles_per_second``.  Points from older files without an
-``engine`` field are treated as ``event``, so the batch fast path is
-never silently diffed against the discrete-event kernel.  Wall-clock benchmarks on shared CI runners are
+Matches points by (controller, kernel, organization, engine,
+topology) and compares ``cycles_per_second``.  Points from older files
+without an ``engine`` field are treated as ``event``, and points
+without a ``topology`` field as the single-channel ``1x1`` system, so
+the batch fast path is never silently diffed against the discrete-event
+kernel and multi-channel points never diff against single-channel
+baselines.  Wall-clock benchmarks on shared CI runners are
 noisy, so the gate is a tolerance band, not an equality check: the
 exit status is non-zero only when at least one point is slower than
 ``baseline * (1 - tolerance)``.  Speedups and missing/new points are
@@ -25,15 +28,16 @@ import json
 import sys
 from typing import Dict, List, Tuple
 
-#: Identity of one benchmark point across runs.
-PointKey = Tuple[str, str, str, str]
+#: Identity of one benchmark point across runs:
+#: (controller, kernel, organization, engine, topology).
+PointKey = Tuple[str, str, str, str, str]
 
 #: Default slowdown band: fail only below 75% of baseline throughput.
 DEFAULT_TOLERANCE = 0.25
 
 
 def load_points(path: str) -> Dict[PointKey, dict]:
-    """Read bench-core JSON into {(controller, kernel, org, engine): point}."""
+    """Read bench-core JSON into {(controller, kernel, org, engine, topo): point}."""
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
     points: Dict[PointKey, dict] = {}
@@ -43,6 +47,7 @@ def load_points(path: str) -> Dict[PointKey, dict]:
             str(point.get("kernel", "?")),
             str(point.get("organization", "?")),
             str(point.get("engine", "event")),
+            str(point.get("topology", "1x1")),
         )
         points[key] = point
     return points
@@ -58,6 +63,7 @@ def compare(
     regressions: List[str] = []
     header = (
         f"{'controller':22s} {'kernel':8s} {'org':4s} {'engine':6s} "
+        f"{'topo':5s} "
         f"{'baseline':>12s} {'fresh':>12s} {'ratio':>7s}"
     )
     lines.append(header)
@@ -66,6 +72,7 @@ def compare(
         if key not in fresh:
             lines.append(
                 f"{key[0]:22s} {key[1]:8s} {key[2]:4s} {key[3]:6s} "
+                f"{key[4]:5s} "
                 f"{'':>12s} {'(missing)':>12s}"
             )
             continue
@@ -83,11 +90,13 @@ def compare(
             )
         lines.append(
             f"{key[0]:22s} {key[1]:8s} {key[2]:4s} {key[3]:6s} "
+            f"{key[4]:5s} "
             f"{base_cps:>12,} {new_cps:>12,} {ratio:>6.2f}x{flag}"
         )
     for key in sorted(set(fresh) - set(baseline)):
         lines.append(
             f"{key[0]:22s} {key[1]:8s} {key[2]:4s} {key[3]:6s} "
+            f"{key[4]:5s} "
             f"{'(new)':>12s} "
             f"{fresh[key].get('cycles_per_second') or 0:>12,}"
         )

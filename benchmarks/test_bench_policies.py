@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 POLICIES = ("round-robin", "bank-aware", "speculative-precharge")
 
@@ -20,9 +20,9 @@ def test_policy_on_conflicted_cli(benchmark, policy):
     """Aligned vectors on shallow-FIFO CLI: the bank-conflict-heavy
     case where conflict avoidance pays."""
     result = benchmark.pedantic(
-        simulate_kernel,
-        args=("daxpy", "cli"),
-        kwargs=dict(length=1024, fifo_depth=8, alignment="aligned", policy=policy),
+        simulate,
+        args=(RunSpec("daxpy", "cli", length=1024, fifo_depth=8,
+                      alignment="aligned", policy=policy),),
         rounds=1,
         iterations=1,
     )
@@ -34,9 +34,9 @@ def test_policy_on_long_vector_pi(benchmark, policy):
     """PI long vectors: page-crossing overheads are the limiter the
     speculative policy targets."""
     result = benchmark.pedantic(
-        simulate_kernel,
-        args=("vaxpy", "pi"),
-        kwargs=dict(length=1024, fifo_depth=64, policy=policy),
+        simulate,
+        args=(RunSpec("vaxpy", "pi", length=1024, fifo_depth=64,
+                      policy=policy),),
         rounds=1,
         iterations=1,
     )
@@ -47,9 +47,9 @@ def test_policy_on_long_vector_pi(benchmark, policy):
 def test_policy_on_strided_pi(benchmark, policy):
     """Strided PI: frequent page crossings, the Figure 9 regime."""
     result = benchmark.pedantic(
-        simulate_kernel,
-        args=("vaxpy", "pi"),
-        kwargs=dict(length=1024, fifo_depth=128, stride=32, policy=policy),
+        simulate,
+        args=(RunSpec("vaxpy", "pi", length=1024, fifo_depth=128,
+                      stride=32, policy=policy),),
         rounds=1,
         iterations=1,
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.memsys.config import Interleaving, MemorySystemConfig, PagePolicy
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 PAIRINGS = {
     "cli-closed": MemorySystemConfig(
@@ -32,9 +32,8 @@ PAIRINGS = {
 @pytest.mark.parametrize("pairing", sorted(PAIRINGS))
 def test_interleave_page_policy_cross(benchmark, pairing):
     result = benchmark.pedantic(
-        simulate_kernel,
-        args=("daxpy", PAIRINGS[pairing]),
-        kwargs=dict(length=1024, fifo_depth=64),
+        simulate,
+        args=(RunSpec("daxpy", PAIRINGS[pairing], length=1024, fifo_depth=64),),
         rounds=1,
         iterations=1,
     )
@@ -46,12 +45,12 @@ def test_pi_closed_wastes_page_locality(benchmark):
     forfeits the open-page hits that make PI attractive for streams."""
 
     def compare():
-        open_page = simulate_kernel(
+        open_page = simulate(RunSpec(
             "daxpy", PAIRINGS["pi-open"], length=1024, fifo_depth=64
-        )
-        closed_page = simulate_kernel(
+        ))
+        closed_page = simulate(RunSpec(
             "daxpy", PAIRINGS["pi-closed"], length=1024, fifo_depth=64
-        )
+        ))
         return open_page, closed_page
 
     open_page, closed_page = benchmark.pedantic(compare, rounds=1, iterations=1)

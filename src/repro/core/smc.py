@@ -21,6 +21,7 @@ from repro.memsys.config import MemorySystemConfig
 from repro.memsys.pagemanager import make_page_manager
 from repro.rdram.channel import make_memory
 from repro.rdram.device import RdramDevice
+from repro.rdram.fabric import FabricRefreshEngine, MemoryFabric
 from repro.rdram.refresh import RefreshEngine
 
 
@@ -104,7 +105,11 @@ def build_smc_system(
         timing=config.timing,
         geometry=config.geometry,
         record_trace=record_trace,
-        page_manager=page_manager,
+        page_manager=(
+            None if config.topology.channels > 1 else page_manager
+        ),
+        topology=config.topology if not config.topology.single else None,
+        page_manager_factory=lambda: make_page_manager(config),
     )
     sbu = StreamBufferUnit.from_descriptors(
         placed,
@@ -115,6 +120,13 @@ def build_smc_system(
     )
     msu = MemorySchedulingUnit(device, sbu, policy or RoundRobinPolicy())
     processor = StreamProcessor(kernel, length, access_interval=access_interval)
+    refresh_engine = None
+    if refresh:
+        refresh_engine = (
+            FabricRefreshEngine(device)
+            if isinstance(device, MemoryFabric)
+            else RefreshEngine(device)
+        )
     return SmcSystem(
         kernel=kernel,
         config=config,
@@ -123,6 +135,6 @@ def build_smc_system(
         sbu=sbu,
         msu=msu,
         processor=processor,
-        refresh=RefreshEngine(device) if refresh else None,
+        refresh=refresh_engine,
         address_map=address_map,
     )

@@ -28,6 +28,7 @@ from repro.experiments import (
     fpm_heritage,
     headline,
     l2_tradeoff,
+    multi_client,
     policy_matrix,
     refresh_ablation,
     tables,
@@ -167,6 +168,16 @@ def _l2() -> Tables:
 @register("fpm", "Fast-page-mode heritage comparison")
 def _fpm() -> Tables:
     return [("fpm", fpm_heritage.run())]
+
+
+@register("multi_client", "Open-loop multi-client traffic over N channels")
+def _multi_client() -> Tables:
+    return [
+        (f"multi_client_{name}", table)
+        for name, table in zip(
+            ("scaling", "regulation"), multi_client.run()
+        )
+    ]
 
 
 @register("policy_matrix", "Address mapping x page policy cross product")

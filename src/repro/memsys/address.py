@@ -29,11 +29,12 @@ further wiring (see ``docs/architecture.md``).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Type
 
 from repro.errors import ConfigurationError
-from repro.memsys.config import MemorySystemConfig
+from repro.memsys.config import MemorySystemConfig, MemoryTopology
 from repro.rdram.timing import DATA_PACKET_BYTES
 
 
@@ -133,6 +134,23 @@ class AddressMapping:
         """Bank holding ``address`` (convenience for placement logic)."""
         return self.decompose(address).bank
 
+    # -- topology hooks -------------------------------------------------
+    # Single-channel mappings put everything on channel 0; the
+    # channel-striping composition overrides these.
+
+    @property
+    def channels(self) -> int:
+        """Independent channels this mapping spreads addresses over."""
+        return 1
+
+    def channel_of(self, address: int) -> int:
+        """Channel holding ``address``."""
+        return 0
+
+    def channel_of_bank(self, bank: int) -> int:
+        """Channel owning a global bank index."""
+        return 0
+
     # -- strategy hooks -------------------------------------------------
 
     def _decompose(self, address: int) -> Location:
@@ -165,8 +183,87 @@ def list_mappings() -> List[str]:
     return sorted(MAPPINGS)
 
 
+class ChannelStriping(AddressMapping):
+    """A channel-selector stage composed over a per-channel mapping.
+
+    Successive cachelines rotate round-robin across channels; within
+    its channel, each line is placed by the wrapped per-channel
+    mapping (cli, pi, swizzle, or any registered strategy), unchanged.
+    Locations use *global* bank indices — channel ``c``'s local bank
+    ``b`` is global index ``c * banks_per_channel + b`` — mirroring
+    how :class:`~repro.rdram.channel.RambusChannel` globalizes device
+    banks, so controllers stay topology-agnostic.
+
+    The composition is an exact bijection whenever the wrapped mapping
+    is one: the (channel, local-line) split is a pure divmod of the
+    line index, inverted in :meth:`_compose`.
+    """
+
+    name = "channel-striping"
+
+    def __init__(self, config: MemorySystemConfig, base: AddressMapping) -> None:
+        channels = config.topology.channels
+        self.config = config
+        self.base = base
+        self._channels = channels
+        self.banks_per_channel = base._num_banks
+        self._num_banks = channels * base._num_banks
+        self._page_bytes = base._page_bytes
+        self._rows = base._rows
+        self._line_bytes = base._line_bytes
+        self._packets_per_page = base._packets_per_page
+        self._packets_per_line = base._packets_per_line
+        self._lines_per_page = base._lines_per_page
+        self._capacity = channels * base._capacity
+        self._bank_order = list(range(self._num_banks))
+        self._bank_rank = list(range(self._num_banks))
+
+    @property
+    def channels(self) -> int:
+        return self._channels
+
+    def channel_of(self, address: int) -> int:
+        if not 0 <= address < self._capacity:
+            raise ConfigurationError(
+                f"address {address:#x} outside capacity {self._capacity:#x}"
+            )
+        return (address // self._line_bytes) % self._channels
+
+    def channel_of_bank(self, bank: int) -> int:
+        if not 0 <= bank < self._num_banks:
+            raise ConfigurationError(f"bank {bank} out of range")
+        return bank // self.banks_per_channel
+
+    def _decompose(self, address: int) -> Location:
+        line, offset = divmod(address, self._line_bytes)
+        channel = line % self._channels
+        local = self.base._decompose(
+            (line // self._channels) * self._line_bytes + offset
+        )
+        return Location(
+            bank=channel * self.banks_per_channel + local.bank,
+            row=local.row,
+            column=local.column,
+        )
+
+    def _compose(self, location: Location, byte_offset: int) -> int:
+        channel, local_bank = divmod(location.bank, self.banks_per_channel)
+        local_address = self.base._compose(
+            Location(bank=local_bank, row=location.row, column=location.column),
+            byte_offset,
+        )
+        line, offset = divmod(local_address, self._line_bytes)
+        return (line * self._channels + channel) * self._line_bytes + offset
+
+
 def get_address_mapping(config: MemorySystemConfig) -> AddressMapping:
     """Instantiate the mapping the configuration names.
+
+    With a non-default :class:`~repro.memsys.config.MemoryTopology`,
+    the named per-channel mapping is built over one channel's geometry
+    (all its devices' banks) and, for multiple channels, composed with
+    the :class:`ChannelStriping` selector stage.  The single-channel,
+    single-device case constructs the bare mapping exactly as before.
 
     Raises:
         ConfigurationError: If no mapping is registered under the
@@ -181,7 +278,15 @@ def get_address_mapping(config: MemorySystemConfig) -> AddressMapping:
             f"unknown address mapping {name!r}; registered mappings: "
             f"{', '.join(list_mappings())}"
         ) from None
-    return cls(config)
+    if config.topology.single:
+        return cls(config)
+    per_channel = dataclasses.replace(
+        config, geometry=config.channel_geometry, topology=MemoryTopology()
+    )
+    base = cls(per_channel)
+    if config.topology.channels == 1:
+        return base
+    return ChannelStriping(config, base)
 
 
 def AddressMap(config: MemorySystemConfig) -> AddressMapping:

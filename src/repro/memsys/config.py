@@ -71,6 +71,61 @@ class PagePolicy(enum.Enum):
 
 
 @dataclass(frozen=True)
+class MemoryTopology:
+    """How the memory system gangs channels and devices.
+
+    The paper models one Direct Rambus channel holding one device;
+    production systems gang several independent channels — each with
+    its own ROW/COL/DATA buses — and populate each channel with
+    several devices.  A topology is purely multiplicative: per-channel
+    behavior is exactly the single-channel model, and capacity and
+    peak bandwidth scale with ``channels``.
+
+    Attributes:
+        channels: Independent Rambus channels (each with private
+            buses and bank state).
+        devices_per_channel: RDRAM devices sharing each channel's
+            buses (a Direct Rambus channel supports up to 32).
+    """
+
+    channels: int = 1
+    devices_per_channel: int = 1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.channels, bool) or not isinstance(
+            self.channels, int
+        ):
+            raise ConfigurationError(
+                f"channels must be an integer, got {self.channels!r}"
+            )
+        if isinstance(self.devices_per_channel, bool) or not isinstance(
+            self.devices_per_channel, int
+        ):
+            raise ConfigurationError(
+                "devices_per_channel must be an integer, got "
+                f"{self.devices_per_channel!r}"
+            )
+        if not 1 <= self.channels <= 16:
+            raise ConfigurationError(
+                f"channels must be in 1..16, got {self.channels}"
+            )
+        if not 1 <= self.devices_per_channel <= 32:
+            raise ConfigurationError(
+                "a Rambus channel holds 1 to 32 devices, got "
+                f"{self.devices_per_channel}"
+            )
+
+    @property
+    def single(self) -> bool:
+        """True for the paper's one-channel, one-device system."""
+        return self.channels == 1 and self.devices_per_channel == 1
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``"2ch x 4dev"``."""
+        return f"{self.channels}ch x {self.devices_per_channel}dev"
+
+
+@dataclass(frozen=True)
 class MemorySystemConfig:
     """Complete configuration of the modeled memory system.
 
@@ -90,6 +145,11 @@ class MemorySystemConfig:
         page_timeout_cycles: Idle cycles before the ``timeout`` page
             policy auto-precharges an open bank (ignored by the other
             policies).
+        topology: Channel/device multiplicity (defaults to the
+            paper's single channel with a single device).  When the
+            topology names multiple devices per channel, ``geometry``
+            stays the *per-device* geometry; the channel and fabric
+            layers derive the ganged layout from it.
     """
 
     timing: RdramTiming = field(default_factory=RdramTiming)
@@ -98,6 +158,7 @@ class MemorySystemConfig:
     page_policy: Union[PagePolicy, str] = PagePolicy.CLOSED
     cacheline_bytes: int = 32
     page_timeout_cycles: int = 64
+    topology: MemoryTopology = field(default_factory=MemoryTopology)
 
     def __post_init__(self) -> None:
         # Normalize known string spellings to the enum members so
@@ -129,6 +190,19 @@ class MemorySystemConfig:
                 "RDRAM page size must be an integer multiple of the "
                 f"cacheline size: {self.geometry.page_bytes} % "
                 f"{self.cacheline_bytes} != 0"
+            )
+        if not isinstance(self.topology, MemoryTopology):
+            raise ConfigurationError(
+                "topology must be a MemoryTopology, got "
+                f"{type(self.topology).__name__}"
+            )
+        if not self.topology.single and not isinstance(
+            self.geometry, RdramGeometry
+        ):
+            raise ConfigurationError(
+                "a non-default topology needs a per-device RdramGeometry; "
+                f"{type(self.geometry).__name__} already encodes device "
+                "multiplicity"
             )
 
     @classmethod
@@ -183,9 +257,47 @@ class MemorySystemConfig:
         """Cachelines held by one RDRAM page."""
         return self.geometry.page_bytes // self.cacheline_bytes
 
+    # -- topology-derived layout ----------------------------------------
+
+    @property
+    def channel_geometry(self):
+        """Geometry of one channel under this config's topology.
+
+        The per-device ``geometry`` when the topology has one device
+        per channel (or when the caller supplied a
+        :class:`~repro.rdram.channel.ChannelGeometry` directly); a
+        :class:`~repro.rdram.channel.ChannelGeometry` wrapping
+        ``devices_per_channel`` copies of it otherwise.
+        """
+        if self.topology.devices_per_channel > 1:
+            from repro.rdram.channel import ChannelGeometry
+
+            return ChannelGeometry(
+                num_devices=self.topology.devices_per_channel,
+                device=self.geometry,
+            )
+        return self.geometry
+
+    @property
+    def banks_per_channel(self) -> int:
+        """Banks addressable within one channel."""
+        return self.channel_geometry.num_banks
+
+    @property
+    def total_banks(self) -> int:
+        """Banks across the whole topology."""
+        return self.topology.channels * self.banks_per_channel
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Mappable bytes across the whole topology."""
+        return self.topology.channels * self.channel_geometry.capacity_bytes
+
     def describe(self) -> str:
         """One-line human-readable summary of the organization."""
+        prefix = "" if self.topology.single else f"{self.topology.describe()}, "
         return (
+            f"{prefix}"
             f"{self.interleaving_name.upper()} / {self.page_policy_name}-page, "
             f"{self.geometry.num_banks} banks, "
             f"{self.geometry.page_bytes} B pages, "

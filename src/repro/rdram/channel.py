@@ -65,10 +65,31 @@ class ChannelGeometry:
     device: RdramGeometry = field(default_factory=RdramGeometry)
 
     def __post_init__(self) -> None:
+        if isinstance(self.num_devices, bool) or not isinstance(
+            self.num_devices, int
+        ):
+            raise ConfigurationError(
+                f"num_devices must be an integer, got {self.num_devices!r}"
+            )
         if not 1 <= self.num_devices <= 32:
             raise ConfigurationError(
                 "a Rambus channel holds 1 to 32 devices, got "
                 f"{self.num_devices}"
+            )
+        if not isinstance(self.device, RdramGeometry):
+            # A nested ChannelGeometry (or any other duck) would expose
+            # a plausible num_banks yet mis-map neighbors() and the
+            # per-device t_RR bookkeeping; reject it outright.
+            raise ConfigurationError(
+                "ChannelGeometry.device must be an RdramGeometry "
+                "(channels do not nest); got "
+                f"{type(self.device).__name__}"
+            )
+        if self.device.num_banks < 1 or self.device.rows_per_bank < 1:
+            raise ConfigurationError(
+                "channel device geometry must hold at least one bank "
+                f"and one row, got {self.device.num_banks} banks x "
+                f"{self.device.rows_per_bank} rows"
             )
 
     @property
@@ -119,8 +140,10 @@ def make_memory(
     record_trace: bool = True,
     explicit_retire: bool = False,
     page_manager=None,
+    topology=None,
+    page_manager_factory=None,
 ):
-    """Build the right memory model for a geometry.
+    """Build the right memory model for a geometry and topology.
 
     A :class:`ChannelGeometry` yields a :class:`RambusChannel`; an
     :class:`~repro.rdram.device.RdramGeometry` (or None) yields a
@@ -128,8 +151,52 @@ def make_memory(
     agnostic — both expose the same interface.  An optional
     :class:`~repro.memsys.pagemanager.PageManager` is attached for the
     ``issue_access`` path to consult.
+
+    A :class:`~repro.memsys.config.MemoryTopology` widens the build:
+    ``devices_per_channel > 1`` wraps the per-device geometry in a
+    :class:`ChannelGeometry`, and ``channels > 1`` yields a
+    :class:`~repro.rdram.fabric.MemoryFabric` of independent channels.
+    Page managers hold per-bank state keyed by channel-local bank
+    index, so a fabric needs one manager *per channel*: pass
+    ``page_manager_factory`` (called once per channel) instead of a
+    shared ``page_manager``.
     """
     from repro.rdram.device import RdramDevice
+
+    if topology is not None and not topology.single:
+        if isinstance(geometry, ChannelGeometry):
+            raise ConfigurationError(
+                "pass the per-device geometry alongside a topology; a "
+                "ChannelGeometry already encodes device multiplicity"
+            )
+        if topology.channels > 1:
+            from repro.rdram.fabric import MemoryFabric
+
+            if page_manager is not None and page_manager_factory is None:
+                raise ConfigurationError(
+                    "a multi-channel fabric needs a page_manager_factory "
+                    "(one manager per channel); a shared page_manager "
+                    "would collide on channel-local bank indices"
+                )
+            return MemoryFabric(
+                timing=timing,
+                channels=topology.channels,
+                channel_geometry=(
+                    ChannelGeometry(
+                        num_devices=topology.devices_per_channel,
+                        device=geometry or RdramGeometry(),
+                    )
+                    if topology.devices_per_channel > 1
+                    else geometry or RdramGeometry()
+                ),
+                record_trace=record_trace,
+                explicit_retire=explicit_retire,
+                page_manager_factory=page_manager_factory,
+            )
+        geometry = ChannelGeometry(
+            num_devices=topology.devices_per_channel,
+            device=geometry or RdramGeometry(),
+        )
 
     if isinstance(geometry, ChannelGeometry):
         memory = RambusChannel(
@@ -145,6 +212,8 @@ def make_memory(
             record_trace=record_trace,
             explicit_retire=explicit_retire,
         )
+    if page_manager is None and page_manager_factory is not None:
+        page_manager = page_manager_factory()
     memory.page_manager = page_manager
     return memory
 

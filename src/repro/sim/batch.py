@@ -124,6 +124,11 @@ def batch_unsupported_reason(
                 f"scheduling policy {name!r} "
                 "(batch supports round-robin only)"
             )
+    if not config.topology.single:
+        return (
+            f"{config.topology.describe()} topologies need the event "
+            "engine (the batch fast path models one channel's buses)"
+        )
     geometry = config.geometry
     if not isinstance(geometry, RdramGeometry):
         return "multi-device channel geometries need the event engine"

@@ -29,6 +29,7 @@ from repro.core.smc import build_smc_system
 from repro.cpu.kernels import KERNELS, get_kernel
 from repro.cpu.streams import Alignment
 from repro.memsys.address import MAPPINGS, list_mappings
+from repro.memsys.config import MemoryTopology
 from repro.memsys.pagemanager import PAGE_POLICIES, list_page_policies
 from repro.cache.controller import CachedNaturalOrderController
 from repro.core.l2stream import L2StreamingController
@@ -70,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="treat KERNEL as loop source to compile")
     parser.add_argument("--org", default="cli", choices=("cli", "pi"),
                         help="memory organization (default cli)")
+    parser.add_argument("--channels", type=int, default=1, metavar="N",
+                        help="independent Rambus channels (default 1); "
+                             "multi-channel runs use the event kernel "
+                             "and the plain report")
+    parser.add_argument("--devices", type=int, default=1, metavar="M",
+                        help="RDRAM devices per channel (default 1)")
     parser.add_argument("--length", type=int, default=1024,
                         help="vector length in elements (default 1024)")
     parser.add_argument("--fifo-depth", type=int, default=64,
@@ -252,6 +259,29 @@ def _run(args) -> int:
         Instrumentation(telemetry_window=telemetry)
         if need_obs and not obsless else None
     )
+    multi = (args.channels, args.devices) != (1, 1)
+    if multi:
+        # Validate the topology up front for a clean CLI error, and
+        # fold it into the config so the report's organization line
+        # carries the "NchxMdev" prefix.  RunSpec decomposes a config
+        # topology back into its channels/devices fields, so cache
+        # keys are unchanged.
+        topology = MemoryTopology(
+            channels=args.channels, devices_per_channel=args.devices
+        )
+        config = dataclasses.replace(config, topology=topology)
+        if args.baseline:
+            raise ConfigurationError(
+                "--channels/--devices run through the SMC path; the "
+                "baseline controllers model a single channel"
+            )
+        if args.metrics or args.audit or need_obs:
+            raise ConfigurationError(
+                "multi-channel runs support the plain report and "
+                "--gantt only: trace metrics, protocol auditing, "
+                "instrumentation and telemetry assume a single "
+                "channel's buses"
+            )
 
     if args.baseline == "natural-order":
         controller = NaturalOrderController(config, record_trace=need_trace)
@@ -301,6 +331,8 @@ def _run(args) -> int:
             policy=args.policy,
             refresh=args.refresh,
             engine=args.engine,
+            channels=args.channels,
+            devices=args.devices,
         )
         with execution(cache=args.cache):
             result = simulate(spec)
@@ -395,6 +427,10 @@ def _run(args) -> int:
               "(stride-limited ceiling)")
     print(f"traffic      : {result.transferred_bytes} bytes moved for "
           f"{result.useful_bytes} useful")
+    if result.channel_transferred_bytes:
+        shares = "/".join(f"{s:.0%}" for s in result.channel_shares)
+        print(f"channels     : "
+              f"{list(result.channel_transferred_bytes)} bytes ({shares})")
     print(f"activity     : {result.packets_issued} packets, "
           f"{result.activations} activations, "
           f"{result.bank_conflicts} bank conflicts, "

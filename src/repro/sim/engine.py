@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.errors import ConfigurationError
 from repro.core.msu import ArrivalEvent, IDLE, MemorySchedulingUnit
 from repro.core.sbu import StreamBufferUnit
 from repro.core.smc import SmcSystem
@@ -205,6 +206,12 @@ def run_smc(
         _record_meta(system, obs, end_cycle)
         finalize_telemetry(obs)
     if audit:
+        if system.config.topology.channels > 1:
+            raise ConfigurationError(
+                "packet-trace auditing assumes a single channel's buses; "
+                "audit per-channel runs instead of a "
+                f"{system.config.topology.describe()} fabric"
+            )
         geometry = system.config.geometry
         audit_trace(
             system.device.trace,
@@ -232,6 +239,7 @@ def run_smc(
         page_hits=msu.page_hits,
         page_misses=msu.page_misses,
     )
+    builder.note_channel_bytes(system.device)
     return builder.build(
         cycles=end_cycle,
         useful_bytes=useful,

@@ -469,6 +469,9 @@ class ResultBuilder:
             conflict analogue, e.g. L2 refetches).
         page_hits: Accesses that hit an open row.
         page_misses: Accesses that had to activate.
+        channel_transferred_bytes: Per-channel DATA-bus byte tallies
+            noted via :meth:`note_channel_bytes` (empty for
+            single-channel runs).
     """
 
     kernel: str
@@ -486,6 +489,18 @@ class ResultBuilder:
     bank_conflicts: int = 0
     page_hits: int = 0
     page_misses: int = 0
+    channel_transferred_bytes: Tuple[int, ...] = ()
+
+    def note_channel_bytes(self, device: Any) -> None:
+        """Record cross-channel DATA tallies from a memory model.
+
+        Multi-channel fabrics expose ``channel_bytes()``; for any
+        other memory model this is a no-op, keeping single-channel
+        results byte-identical to their historical form.
+        """
+        channel_bytes = getattr(device, "channel_bytes", None)
+        if channel_bytes is not None:
+            self.channel_transferred_bytes = tuple(channel_bytes())
 
     def note_first_data(self, cycle: int) -> None:
         """Record the start of the run's first DATA packet."""
@@ -536,6 +551,7 @@ class ResultBuilder:
             bank_conflicts=self.bank_conflicts,
             page_hits=self.page_hits,
             page_misses=self.page_misses,
+            channel_transferred_bytes=self.channel_transferred_bytes,
         )
         fields.update(overrides)
         return SimulationResult(**fields)

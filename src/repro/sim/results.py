@@ -16,8 +16,8 @@ percent of attainable, provided here as
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
-from typing import Any, Dict, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.errors import ConfigurationError
 from repro.rdram.timing import BYTES_PER_CYCLE_PEAK
@@ -56,6 +56,10 @@ class SimulationResult:
             by a speculative policy.
         refreshes: Background row refreshes performed during the run
             (zero unless the system was built with ``refresh=True``).
+        channel_transferred_bytes: Bytes moved on each channel's DATA
+            bus, in channel order; empty for single-channel runs (the
+            paper's system), where ``transferred_bytes`` is the whole
+            story.
     """
 
     kernel: str
@@ -78,6 +82,32 @@ class SimulationResult:
     fifo_switches: int = 0
     speculative_activations: int = 0
     refreshes: int = 0
+    channel_transferred_bytes: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        # JSON round-trips deliver lists; normalize so equality between
+        # a fresh result and a cache-loaded one holds bit-for-bit.
+        if not isinstance(self.channel_transferred_bytes, tuple):
+            object.__setattr__(
+                self,
+                "channel_transferred_bytes",
+                tuple(self.channel_transferred_bytes),
+            )
+
+    @property
+    def channel_shares(self) -> Tuple[float, ...]:
+        """Each channel's fraction of the bytes moved (empty if N=1)."""
+        total = sum(self.channel_transferred_bytes)
+        if total <= 0:
+            return tuple(0.0 for _ in self.channel_transferred_bytes)
+        return tuple(
+            bytes_moved / total for bytes_moved in self.channel_transferred_bytes
+        )
+
+    @property
+    def channels(self) -> int:
+        """Channel count behind this result (1 unless a fabric ran)."""
+        return max(1, len(self.channel_transferred_bytes))
 
     @property
     def page_hit_rate(self) -> float:
@@ -89,10 +119,17 @@ class SimulationResult:
 
     @property
     def percent_of_peak(self) -> float:
-        """Useful bytes per cycle as a percentage of the 4 B/cycle peak."""
+        """Useful bytes per cycle as a percentage of the system peak.
+
+        Peak is 4 B/cycle per channel (the paper's single-channel
+        figure), scaled by the channel count — an N-channel fabric has
+        N independent DATA buses, so a serial controller that saturates
+        one of them reports ``100 / N`` percent here, not 100.
+        """
         if self.cycles <= 0:
             return 0.0
-        return 100.0 * self.useful_bytes / (self.cycles * BYTES_PER_CYCLE_PEAK)
+        peak = self.cycles * BYTES_PER_CYCLE_PEAK * self.channels
+        return 100.0 * self.useful_bytes / peak
 
     @property
     def attainable_fraction(self) -> float:
@@ -116,7 +153,7 @@ class SimulationResult:
     @property
     def effective_bandwidth_bytes_per_sec(self) -> float:
         """Delivered useful bandwidth in bytes/second."""
-        return self.percent_of_peak / 100.0 * 1_600_000_000
+        return self.percent_of_peak / 100.0 * 1_600_000_000 * self.channels
 
     def to_dict(self) -> Dict[str, Any]:
         """This result as a JSON-safe dict (all fields, no derived values).

@@ -34,7 +34,12 @@ from repro.cpu.streams import Alignment, Direction, StreamSpec
 from repro.core.policies import POLICIES, SchedulingPolicy
 from repro.core.smc import build_smc_system
 from repro.memsys.address import MAPPINGS, list_mappings
-from repro.memsys.config import Interleaving, MemorySystemConfig, PagePolicy
+from repro.memsys.config import (
+    Interleaving,
+    MemorySystemConfig,
+    MemoryTopology,
+    PagePolicy,
+)
 from repro.memsys.pagemanager import PAGE_POLICIES, list_page_policies
 from repro.obs.core import Instrumentation
 from repro.rdram.channel import ChannelGeometry
@@ -196,10 +201,16 @@ def _config_to_dict(config: MemorySystemConfig) -> Dict[str, Any]:
     # configs predating the field are unchanged.
     if config.page_timeout_cycles != 64:
         data["page_timeout_cycles"] = config.page_timeout_cycles
+    if not config.topology.single:
+        data["topology"] = {
+            "channels": config.topology.channels,
+            "devices_per_channel": config.topology.devices_per_channel,
+        }
     return data
 
 
 def _config_from_dict(data: Mapping[str, Any]) -> MemorySystemConfig:
+    topology = data.get("topology")
     return MemorySystemConfig(
         timing=RdramTiming(**data["timing"]),
         geometry=_geometry_from_dict(data["geometry"]),
@@ -207,6 +218,9 @@ def _config_from_dict(data: Mapping[str, Any]) -> MemorySystemConfig:
         page_policy=data["page_policy"],
         cacheline_bytes=data["cacheline_bytes"],
         page_timeout_cycles=data.get("page_timeout_cycles", 64),
+        topology=(
+            MemoryTopology(**topology) if topology else MemoryTopology()
+        ),
     )
 
 
@@ -298,6 +312,8 @@ class RunSpec:
     page_policy: Optional[Union[str, PagePolicy]] = None
     telemetry_window: Optional[int] = None
     engine: str = "auto"
+    channels: int = 1
+    devices: int = 1
 
     def __post_init__(self) -> None:
         if self.telemetry_window is not None and self.telemetry_window <= 0:
@@ -306,6 +322,42 @@ class RunSpec:
                 f"{self.telemetry_window}"
             )
         object.__setattr__(self, "engine", canonical_engine(self.engine))
+        # Validates the channel/device counts exactly as the config
+        # layer will; the instance itself is discarded.
+        MemoryTopology(
+            channels=self.channels, devices_per_channel=self.devices
+        )
+        organization = self.organization
+        if (
+            isinstance(organization, MemorySystemConfig)
+            and not organization.topology.single
+        ):
+            # A config carrying its own topology decomposes into the
+            # channels/devices fields so equal work hashes equally
+            # however the caller spelled it.
+            if (self.channels, self.devices) not in (
+                (1, 1),
+                (
+                    organization.topology.channels,
+                    organization.topology.devices_per_channel,
+                ),
+            ):
+                raise ConfigurationError(
+                    "conflicting topologies: spec says "
+                    f"{self.channels}x{self.devices}, config says "
+                    f"{organization.topology.describe()}"
+                )
+            object.__setattr__(
+                self, "channels", organization.topology.channels
+            )
+            object.__setattr__(
+                self, "devices", organization.topology.devices_per_channel
+            )
+            object.__setattr__(
+                self,
+                "organization",
+                dataclasses.replace(organization, topology=MemoryTopology()),
+            )
         kernel = self.kernel
         if isinstance(kernel, Kernel) and KERNELS.get(kernel.name) == kernel:
             object.__setattr__(self, "kernel", kernel.name)
@@ -446,6 +498,12 @@ class RunSpec:
             data["telemetry_window"] = self.telemetry_window
         if self.engine != "auto":
             data["engine"] = self.engine
+        # Default 1x1 topology is omitted so canonical cache keys from
+        # before these fields existed are unchanged (and stay valid).
+        if self.channels != 1:
+            data["channels"] = self.channels
+        if self.devices != 1:
+            data["devices"] = self.devices
         return data
 
     @classmethod
@@ -499,6 +557,10 @@ class RunSpec:
             + (
                 f" page_policy={self.page_policy}"
                 if self.page_policy is not None else ""
+            )
+            + (
+                f" topo={self.channels}x{self.devices}"
+                if (self.channels, self.devices) != (1, 1) else ""
             )
         )
 
@@ -560,6 +622,25 @@ def simulate(
         interleaving=spec.interleaving,
         page_policy=spec.page_policy,
     )
+    if (spec.channels, spec.devices) != (1, 1):
+        config = dataclasses.replace(
+            config,
+            topology=MemoryTopology(
+                channels=spec.channels, devices_per_channel=spec.devices
+            ),
+        )
+    if config.topology.channels > 1:
+        if spec.audit:
+            raise ConfigurationError(
+                "packet-trace auditing assumes a single channel's buses; "
+                "audit per-channel runs instead of a "
+                f"{config.topology.describe()} fabric"
+            )
+        if obs is not None:
+            raise ConfigurationError(
+                "stall attribution and telemetry assume a single DATA "
+                "bus; run multi-channel specs without instrumentation"
+            )
     resolved = resolve_engine(
         choice,
         config,

@@ -1,0 +1,26 @@
+"""Open-loop multi-client traffic layer.
+
+The paper drives the memory system with a handful of compute-kernel
+streams; production memory systems serve thousands of concurrent
+request sources.  This package generates that load — synthetic
+clients with Zipf-distributed hot sets and seeded Poisson arrivals —
+and drives it through the channel fabric as kernel components,
+reporting latency percentiles, per-bank/per-channel bandwidth shares,
+and (optionally) the effect of per-client bank-budget regulation.
+"""
+
+from repro.traffic.workload import Request, TrafficWorkload, generate_requests
+from repro.traffic.driver import (
+    BankBudgetRegulator,
+    TrafficResult,
+    run_traffic,
+)
+
+__all__ = [
+    "BankBudgetRegulator",
+    "Request",
+    "TrafficResult",
+    "TrafficWorkload",
+    "generate_requests",
+    "run_traffic",
+]

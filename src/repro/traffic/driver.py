@@ -1,0 +1,451 @@
+"""Open-loop traffic driver over the channel fabric.
+
+Wires the synthetic workload into the shared simulation kernel as
+components:
+
+* an :class:`ArrivalPump` that releases requests into per-channel
+  queues at their Poisson arrival cycles (open loop — arrivals do not
+  wait for service), and
+* one :class:`ChannelServer` per channel, each serving its queue FCFS
+  against that channel's private memory model — channels are
+  independent kernel components, exactly as independent memory
+  controllers would be.
+
+Each completed request's latency (arrival to last DATA packet end)
+feeds an :class:`~repro.obs.metrics.Histogram`, so the run reports
+interpolated p50/p90/p99; byte tallies are kept per bank, per channel
+and per client.  An optional :class:`BankBudgetRegulator` enforces
+per-client bank budgets per time window (Sullivan-style bandwidth
+regulation): a client over budget on a bank has its requests deferred
+to the next window, bounding the bank share any one client can take.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.memsys.address import get_address_mapping
+from repro.memsys.config import MemorySystemConfig, MemoryTopology
+from repro.memsys.pagemanager import make_page_manager
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.rdram.channel import make_memory
+from repro.rdram.fabric import MemoryFabric
+from repro.rdram.timing import DATA_PACKET_BYTES
+from repro.sim.kernel import Simulation
+from repro.traffic.workload import Request, TrafficWorkload, generate_requests
+
+#: Latency histogram bucket bounds, in interface-clock cycles.
+LATENCY_BUCKETS = (
+    8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    2048.0, 4096.0, 8192.0, 16384.0, 32768.0, 65536.0,
+)
+
+
+class BankBudgetRegulator:
+    """Per-client, per-bank byte budgets over fixed time windows.
+
+    Args:
+        window_cycles: Window length; budgets reset at each boundary.
+        budget_bytes: Bytes one client may move through one bank per
+            window; requests beyond it are deferred to the next
+            window.
+    """
+
+    def __init__(self, window_cycles: int = 1024, budget_bytes: int = 256) -> None:
+        if window_cycles <= 0:
+            raise ConfigurationError("window_cycles must be positive")
+        if budget_bytes <= 0:
+            raise ConfigurationError("budget_bytes must be positive")
+        self.window_cycles = window_cycles
+        self.budget_bytes = budget_bytes
+        self.deferrals = 0
+        self._window = 0
+        self._spent: Dict[Tuple[int, int], int] = {}
+
+    def _roll(self, cycle: int) -> None:
+        window = cycle // self.window_cycles
+        if window != self._window:
+            self._window = window
+            self._spent.clear()
+
+    def allows(self, client: int, bank: int, nbytes: int, cycle: int) -> bool:
+        """True if the client may move ``nbytes`` through ``bank`` now."""
+        self._roll(cycle)
+        return (
+            self._spent.get((client, bank), 0) + nbytes <= self.budget_bytes
+        )
+
+    def charge(self, client: int, bank: int, nbytes: int, cycle: int) -> None:
+        """Debit a served request against its client's bank budget."""
+        self._roll(cycle)
+        key = (client, bank)
+        self._spent[key] = self._spent.get(key, 0) + nbytes
+
+    def next_window_start(self, cycle: int) -> int:
+        """First cycle of the window after the one holding ``cycle``."""
+        return (cycle // self.window_cycles + 1) * self.window_cycles
+
+
+class ArrivalPump:
+    """Releases requests into per-channel queues at their arrival cycles."""
+
+    def __init__(
+        self, requests: List[Request], servers: List["ChannelServer"], mapping
+    ) -> None:
+        self._pending: Deque[Request] = deque(
+            sorted(requests, key=lambda request: request.arrival)
+        )
+        self._servers = servers
+        self._mapping = mapping
+
+    @property
+    def done(self) -> bool:
+        return not self._pending
+
+    def tick(self, cycle: int) -> Tuple[()]:
+        while self._pending and self._pending[0].arrival <= cycle:
+            request = self._pending.popleft()
+            channel = self._mapping.channel_of(request.address)
+            self._servers[channel].enqueue(request)
+        return ()
+
+    @property
+    def next_action_cycle(self) -> Optional[int]:
+        return self._pending[0].arrival if self._pending else None
+
+
+class ChannelServer:
+    """Serves one channel's queue FCFS against its private memory.
+
+    One server per channel; each is an independent kernel component,
+    so service on one channel never blocks another.  A request
+    occupies the server from issue until its last DATA packet ends
+    (one transaction in flight per channel), which is what makes the
+    per-window budget accounting of the regulator meaningful.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        memory,
+        mapping,
+        config: MemorySystemConfig,
+        latency: Histogram,
+        bank_offset: int,
+        regulator: Optional[BankBudgetRegulator] = None,
+    ) -> None:
+        self.index = index
+        self.memory = memory
+        self.mapping = mapping
+        self.config = config
+        self.latency = latency
+        self.bank_offset = bank_offset
+        self.regulator = regulator
+        self.queue: Deque[Request] = deque()
+        self.completed = 0
+        self.last_data_end = 0
+        self.bank_bytes: Dict[int, int] = {}
+        self.client_bytes: Dict[int, int] = {}
+        self.client_bank_bytes: Dict[Tuple[int, int], int] = {}
+        self._busy_until = 0
+        self._blocked_until: Optional[int] = None
+
+    def enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+        self._blocked_until = None
+
+    @property
+    def idle(self) -> bool:
+        return not self.queue
+
+    def _pick(self, cycle: int) -> Optional[Request]:
+        """The first queued request the regulator admits (FCFS)."""
+        if self.regulator is None:
+            return self.queue.popleft() if self.queue else None
+        line_bytes = self.config.cacheline_bytes
+        for position, request in enumerate(self.queue):
+            bank = self.mapping.decompose(request.address).bank
+            if self.regulator.allows(request.client, bank, line_bytes, cycle):
+                del self.queue[position]
+                return request
+            self.regulator.deferrals += 1
+        return None
+
+    def tick(self, cycle: int) -> Tuple[()]:
+        if not self.queue or cycle < self._busy_until:
+            return ()
+        request = self._pick(cycle)
+        if request is None:
+            # Every queued client is over budget: sleep to the next
+            # window boundary, when budgets reset.
+            self._blocked_until = self.regulator.next_window_start(cycle)
+            return ()
+        self._blocked_until = None
+        line_bytes = self.config.cacheline_bytes
+        packets = self.config.packets_per_cacheline
+        page_manager = self.memory.page_manager
+        plans = page_manager is not None and page_manager.plans_precharge
+        data_end = cycle
+        first_bank = None
+        for offset in range(packets):
+            location = self.mapping.decompose(
+                request.address + offset * DATA_PACKET_BYTES
+            )
+            if first_bank is None:
+                first_bank = location.bank
+            outcome = self.memory.issue_access(
+                location.bank - self.bank_offset,
+                location.row,
+                location.column,
+                cycle,
+                request.direction,
+                precharge=plans and offset == packets - 1,
+            )
+            data_end = outcome.access.data.end
+            self.bank_bytes[location.bank] = (
+                self.bank_bytes.get(location.bank, 0) + DATA_PACKET_BYTES
+            )
+        self._busy_until = data_end
+        self.last_data_end = max(self.last_data_end, data_end)
+        self.completed += 1
+        self.latency.observe(float(data_end - request.arrival))
+        self.client_bytes[request.client] = (
+            self.client_bytes.get(request.client, 0) + line_bytes
+        )
+        if first_bank is not None:
+            pair = (request.client, first_bank)
+            self.client_bank_bytes[pair] = (
+                self.client_bank_bytes.get(pair, 0) + line_bytes
+            )
+        if self.regulator is not None and first_bank is not None:
+            self.regulator.charge(request.client, first_bank, line_bytes, cycle)
+        return ()
+
+    @property
+    def next_action_cycle(self) -> Optional[int]:
+        if not self.queue:
+            return None
+        if self._blocked_until is not None:
+            return self._blocked_until
+        return self._busy_until
+
+
+@dataclass(frozen=True)
+class TrafficResult:
+    """Outcome of one open-loop traffic run.
+
+    Attributes:
+        organization: Human-readable memory organization summary.
+        channels: Channel count.
+        clients: Client population size.
+        requests: Requests offered (all are eventually served).
+        cycles: Cycle of the last DATA packet end.
+        p50_latency: Interpolated median request latency, in cycles.
+        p90_latency: Interpolated 90th-percentile latency.
+        p99_latency: Interpolated 99th-percentile latency.
+        total_bytes: Bytes moved across all channels.
+        channel_bytes: Bytes moved per channel, in channel order.
+        bank_bytes: Bytes moved per global bank index.
+        client_bytes: Bytes served per client index.
+        client_bank_bytes: Bytes served per (client, bank) pair — the
+            quantity the bank-budget regulator caps per window.
+        regulated: Whether a bank-budget regulator was active.
+        deferrals: Regulator deferral decisions (0 unregulated).
+    """
+
+    organization: str
+    channels: int
+    clients: int
+    requests: int
+    cycles: int
+    p50_latency: float
+    p90_latency: float
+    p99_latency: float
+    total_bytes: int
+    channel_bytes: Tuple[int, ...]
+    bank_bytes: Dict[int, int] = field(default_factory=dict)
+    client_bytes: Dict[int, int] = field(default_factory=dict)
+    client_bank_bytes: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    regulated: bool = False
+    deferrals: int = 0
+
+    @property
+    def channel_shares(self) -> Tuple[float, ...]:
+        """Each channel's fraction of the bytes moved."""
+        if self.total_bytes <= 0:
+            return tuple(0.0 for _ in self.channel_bytes)
+        return tuple(b / self.total_bytes for b in self.channel_bytes)
+
+    def bank_share(self, bank: int) -> float:
+        """One bank's fraction of the bytes moved."""
+        if self.total_bytes <= 0:
+            return 0.0
+        return self.bank_bytes.get(bank, 0) / self.total_bytes
+
+    @property
+    def max_client_bank_rate(self) -> float:
+        """Worst (client, bank) pair's bytes per cycle over the run.
+
+        This is what regulation bounds: with a regulator of budget
+        ``B`` over window ``W``, no client can sustain more than
+        ``B / W`` bytes per cycle through any one bank.
+        """
+        if self.cycles <= 0 or not self.client_bank_bytes:
+            return 0.0
+        return max(self.client_bank_bytes.values()) / self.cycles
+
+    def client_bank_share(self) -> Dict[int, float]:
+        """Each client's fraction of the bytes served."""
+        if self.total_bytes <= 0:
+            return {client: 0.0 for client in self.client_bytes}
+        return {
+            client: served / self.total_bytes
+            for client, served in self.client_bytes.items()
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        shares = "/".join(f"{s:.0%}" for s in self.channel_shares)
+        return (
+            f"{self.organization}: {self.requests} reqs from "
+            f"{self.clients} clients in {self.cycles} cyc; latency "
+            f"p50={self.p50_latency:.0f} p90={self.p90_latency:.0f} "
+            f"p99={self.p99_latency:.0f}; channel shares {shares}"
+            + (f"; {self.deferrals} deferrals" if self.regulated else "")
+        )
+
+
+def run_traffic(
+    config: Optional[MemorySystemConfig] = None,
+    workload: Optional[TrafficWorkload] = None,
+    *,
+    channels: int = 1,
+    devices: int = 1,
+    regulator: Optional[BankBudgetRegulator] = None,
+    registry: Optional[MetricsRegistry] = None,
+    max_cycles: Optional[int] = None,
+) -> TrafficResult:
+    """Drive an open-loop multi-client workload through the fabric.
+
+    Args:
+        config: Memory organization (defaults to the paper's CLI
+            system).  Its topology may be set directly, or via the
+            ``channels``/``devices`` arguments.
+        workload: Client population (defaults to
+            :class:`~repro.traffic.workload.TrafficWorkload`).
+        channels: Channel count, applied to ``config`` when its
+            topology is the default.
+        devices: Devices per channel, applied the same way.
+        regulator: Optional per-client bank-budget regulator.
+        registry: Metrics registry receiving the latency histogram
+            (``traffic.latency_cycles``); a private one is used when
+            omitted.
+        max_cycles: Watchdog override.
+
+    Returns:
+        The run's latency and bandwidth-share accounting.
+    """
+    import dataclasses
+
+    config = config or MemorySystemConfig.cli()
+    if (channels, devices) != (1, 1):
+        if not config.topology.single:
+            raise ConfigurationError(
+                "pass the topology either on the config or as "
+                "channels=/devices=, not both"
+            )
+        config = dataclasses.replace(
+            config,
+            topology=MemoryTopology(
+                channels=channels, devices_per_channel=devices
+            ),
+        )
+    workload = workload or TrafficWorkload()
+    if regulator is not None and regulator.budget_bytes < config.cacheline_bytes:
+        raise ConfigurationError(
+            f"regulator budget ({regulator.budget_bytes} B) is smaller than "
+            f"one cacheline ({config.cacheline_bytes} B); no request could "
+            "ever be admitted"
+        )
+    registry = registry or MetricsRegistry()
+    mapping = get_address_mapping(config)
+    memory = make_memory(
+        timing=config.timing,
+        geometry=config.geometry,
+        record_trace=False,
+        topology=config.topology if not config.topology.single else None,
+        page_manager=(
+            make_page_manager(config) if config.topology.channels == 1 else None
+        ),
+        page_manager_factory=lambda: make_page_manager(config),
+    )
+    channel_memories = (
+        memory.channel_memories
+        if isinstance(memory, MemoryFabric)
+        else [memory]
+    )
+    banks_per_channel = (
+        memory.geometry.banks_per_channel
+        if isinstance(memory, MemoryFabric)
+        else memory.geometry.num_banks
+    )
+    latency = registry.histogram(
+        "traffic.latency_cycles",
+        bounds=LATENCY_BUCKETS,
+        help="request latency (arrival to last DATA packet end), cycles",
+    )
+    servers = [
+        ChannelServer(
+            index=index,
+            memory=channel_memory,
+            mapping=mapping,
+            config=config,
+            latency=latency,
+            bank_offset=index * banks_per_channel,
+            regulator=regulator,
+        )
+        for index, channel_memory in enumerate(channel_memories)
+    ]
+    pump = ArrivalPump(generate_requests(workload, mapping), servers, mapping)
+    if max_cycles is None:
+        max_cycles = 50_000 + 600 * workload.requests
+    Simulation(
+        [pump, *servers],
+        done=lambda sim: pump.done and all(server.idle for server in servers),
+        max_cycles=max_cycles,
+        label=(
+            f"traffic: {workload.clients} clients over "
+            f"{config.topology.describe()}"
+        ),
+    ).run()
+    bank_bytes: Dict[int, int] = {}
+    client_bytes: Dict[int, int] = {}
+    client_bank_bytes: Dict[Tuple[int, int], int] = {}
+    for server in servers:
+        for bank, moved in server.bank_bytes.items():
+            bank_bytes[bank] = bank_bytes.get(bank, 0) + moved
+        for client, served in server.client_bytes.items():
+            client_bytes[client] = client_bytes.get(client, 0) + served
+        for pair, served in server.client_bank_bytes.items():
+            client_bank_bytes[pair] = client_bank_bytes.get(pair, 0) + served
+    channel_bytes = tuple(m.bytes_transferred for m in channel_memories)
+    return TrafficResult(
+        organization=config.describe(),
+        channels=config.topology.channels,
+        clients=workload.clients,
+        requests=workload.requests,
+        cycles=max(server.last_data_end for server in servers),
+        p50_latency=latency.p50,
+        p90_latency=latency.p90,
+        p99_latency=latency.p99,
+        total_bytes=sum(channel_bytes),
+        channel_bytes=channel_bytes,
+        bank_bytes=bank_bytes,
+        client_bytes=client_bytes,
+        client_bank_bytes=client_bank_bytes,
+        regulated=regulator is not None,
+        deferrals=regulator.deferrals if regulator is not None else 0,
+    )

@@ -266,9 +266,14 @@ class TestSimulateEngineApi:
             warnings.simplefilter("always")
             legacy = simulate_kernel("daxpy", "cli", length=64,
                                      fifo_depth=16)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        # Exactly one warning per call: the alias warns at its own
+        # call site and nothing underneath it warns again.
+        assert len(deprecations) == 1
+        assert "RunSpec" in str(deprecations[0].message)
         assert legacy == simulate(RunSpec(
             kernel="daxpy", organization="cli", length=64, fifo_depth=16,
         ))

@@ -10,7 +10,7 @@ from repro.cache.model import CacheConfig, CacheModel
 from repro.cpu.kernels import COPY, DAXPY, VAXPY
 from repro.naturalorder.controller import NaturalOrderController
 from repro.rdram.audit import audit_trace
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 class TestCacheConfig:
@@ -140,7 +140,7 @@ class TestCachedController:
 
     def test_smc_advantage_grows_with_realism(self, cli_config):
         """The paper's closing claim, as a regression test."""
-        smc = simulate_kernel("copy", cli_config, length=1024, fifo_depth=128)
+        smc = simulate(RunSpec("copy", cli_config, length=1024, fifo_depth=128))
         ideal = NaturalOrderController(cli_config).run(COPY, length=1024)
         cached = CachedNaturalOrderController(cli_config).run(COPY, length=1024)
         idealized_ratio = smc.percent_of_peak / ideal.percent_of_peak

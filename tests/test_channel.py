@@ -12,7 +12,7 @@ from repro.rdram.audit import audit_trace
 from repro.rdram.channel import ChannelGeometry, RambusChannel, make_memory
 from repro.rdram.device import RdramDevice, RdramGeometry
 from repro.rdram.packets import BusDirection
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 class TestChannelGeometry:
@@ -116,32 +116,32 @@ class TestControllersOnChannels:
         config = MemorySystemConfig.cli(
             geometry=ChannelGeometry(num_devices=devices)
         )
-        result = simulate_kernel(
+        result = simulate(RunSpec(
             "daxpy", config, length=512, fifo_depth=32, audit=True
-        )
+        ))
         assert result.percent_of_peak > 80
 
     def test_more_devices_never_hurt_smc(self):
-        single = simulate_kernel(
+        single = simulate(RunSpec(
             "daxpy",
             MemorySystemConfig.cli(geometry=ChannelGeometry(num_devices=1)),
             length=1024,
             fifo_depth=64,
-        )
-        quad = simulate_kernel(
+        ))
+        quad = simulate(RunSpec(
             "daxpy",
             MemorySystemConfig.cli(geometry=ChannelGeometry(num_devices=4)),
             length=1024,
             fifo_depth=64,
-        )
+        ))
         assert quad.percent_of_peak >= single.percent_of_peak
 
     def test_single_device_channel_matches_plain_device(self):
         channel_config = MemorySystemConfig.cli(
             geometry=ChannelGeometry(num_devices=1)
         )
-        plain = simulate_kernel("copy", "cli", length=512, fifo_depth=32)
-        chan = simulate_kernel("copy", channel_config, length=512, fifo_depth=32)
+        plain = simulate(RunSpec("copy", "cli", length=512, fifo_depth=32))
+        chan = simulate(RunSpec("copy", channel_config, length=512, fifo_depth=32))
         assert chan.cycles == plain.cycles
         assert chan.percent_of_peak == plain.percent_of_peak
 

@@ -8,7 +8,7 @@ from repro.errors import ConfigurationError, ProtocolError
 from repro.memsys.address import AddressMap
 from repro.memsys.config import MemorySystemConfig
 from repro.rdram.device import RdramDevice, RdramGeometry
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 @pytest.fixture
@@ -79,11 +79,11 @@ class TestEffectivelyEight:
     def test_double_bank_tracks_eight_independent(self, org, doubled):
         """Section 2.2: sixteen doubled banks behave like eight
         independent ones (within a tolerance for the pairing rules)."""
-        eight = simulate_kernel("daxpy", org, length=1024, fifo_depth=64)
+        eight = simulate(RunSpec("daxpy", org, length=1024, fifo_depth=64))
         doubled_config = getattr(MemorySystemConfig, org)(geometry=doubled)
-        sixteen = simulate_kernel(
+        sixteen = simulate(RunSpec(
             "daxpy", doubled_config, length=1024, fifo_depth=64, audit=True
-        )
+        ))
         assert sixteen.percent_of_peak > 0.88 * eight.percent_of_peak
 
     def test_sixteen_independent_at_least_as_good(self, doubled):
@@ -91,6 +91,6 @@ class TestEffectivelyEight:
             geometry=RdramGeometry(num_banks=16)
         )
         paired = MemorySystemConfig.cli(geometry=doubled)
-        free = simulate_kernel("vaxpy", independent, length=1024, fifo_depth=64)
-        constrained = simulate_kernel("vaxpy", paired, length=1024, fifo_depth=64)
+        free = simulate(RunSpec("vaxpy", independent, length=1024, fifo_depth=64))
+        constrained = simulate(RunSpec("vaxpy", paired, length=1024, fifo_depth=64))
         assert free.percent_of_peak >= constrained.percent_of_peak

@@ -17,7 +17,7 @@ from repro.cpu.kernels import Kernel
 from repro.cpu.streams import Direction, StreamSpec
 from repro.memsys.config import MemorySystemConfig
 from repro.naturalorder.controller import NaturalOrderController
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 STREAM8 = Kernel(
     name="stream8",
@@ -57,9 +57,9 @@ class TestEightStreams:
     def test_smc_stays_uniform_at_eight_streams(self, org):
         """'Performance for the SMC is uniformly good, regardless of
         the number of streams in the loop.'"""
-        result = simulate_kernel(
+        result = simulate(RunSpec(
             STREAM8, org, length=1024, fifo_depth=128, audit=True
-        )
+        ))
         assert result.percent_of_peak > 88
 
     def test_smc_beats_natural_order_even_here(self):
@@ -68,7 +68,7 @@ class TestEightStreams:
         for org in ("cli", "pi"):
             config = getattr(MemorySystemConfig, org)()
             natural = NaturalOrderController(config).run(STREAM8, length=1024)
-            smc = simulate_kernel(STREAM8, config, length=1024, fifo_depth=128)
+            smc = simulate(RunSpec(STREAM8, config, length=1024, fifo_depth=128))
             assert smc.percent_of_peak > natural.percent_of_peak
 
     def test_stride_four_collapse(self):

@@ -16,7 +16,7 @@ from repro.rdram.channel import ChannelGeometry
 from repro.rdram.device import RdramGeometry
 from repro.sim import runner
 from repro.sim.results import SimulationResult
-from repro.sim.runner import RunSpec, simulate, simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 from repro.sim.sweep import Sweep
 
 
@@ -116,12 +116,12 @@ class TestRunSpec:
 
 class TestResultSerialization:
     def test_roundtrip(self):
-        result = simulate_kernel("copy", "cli", length=64, fifo_depth=16)
+        result = simulate(RunSpec("copy", "cli", length=64, fifo_depth=16))
         again = SimulationResult.from_dict(result.to_dict())
         assert again == result
 
     def test_extra_keys_ignored(self):
-        result = simulate_kernel("copy", "cli", length=64, fifo_depth=16)
+        result = simulate(RunSpec("copy", "cli", length=64, fifo_depth=16))
         payload = result.to_dict()
         payload["percent_of_peak"] = result.percent_of_peak
         assert SimulationResult.from_dict(payload) == result
@@ -172,14 +172,14 @@ class TestResultCache:
 
 
 class TestRunSpecsSerial:
-    def test_matches_simulate_kernel_in_order(self):
+    def test_matches_direct_simulate_in_order(self):
         specs = [
             RunSpec(kernel="copy", length=64, fifo_depth=8),
             RunSpec(kernel="daxpy", length=64, fifo_depth=16),
         ]
         results = run_specs(specs)
-        assert results[0] == simulate_kernel("copy", length=64, fifo_depth=8)
-        assert results[1] == simulate_kernel("daxpy", length=64, fifo_depth=16)
+        assert results[0] == simulate(RunSpec("copy", length=64, fifo_depth=8))
+        assert results[1] == simulate(RunSpec("daxpy", length=64, fifo_depth=16))
 
     def test_warm_cache_rerun_performs_zero_simulations(
         self, tmp_path, monkeypatch
@@ -260,12 +260,12 @@ class TestRunSpecsPooled:
 
 
 class TestExecutionContext:
-    def test_simulate_kernel_hits_ambient_cache(self, tmp_path, monkeypatch):
+    def test_simulate_hits_ambient_cache(self, tmp_path, monkeypatch):
         cache = ResultCache(tmp_path, salt="v1")
         with execution(cache=cache):
-            first = simulate_kernel("copy", "pi", length=64, fifo_depth=8)
+            first = simulate(RunSpec("copy", "pi", length=64, fifo_depth=8))
             monkeypatch.setattr(runner, "run_smc", _boom)
-            second = simulate_kernel("copy", "pi", length=64, fifo_depth=8)
+            second = simulate(RunSpec("copy", "pi", length=64, fifo_depth=8))
         assert second == first
         assert cache.hits == 1
 
@@ -274,9 +274,9 @@ class TestExecutionContext:
 
         cache = ResultCache(tmp_path, salt="v1")
         with execution(cache=cache):
-            simulate_kernel("copy", "pi", length=64, fifo_depth=8)
+            simulate(RunSpec("copy", "pi", length=64, fifo_depth=8))
             obs = Instrumentation()
-            simulate_kernel("copy", "pi", length=64, fifo_depth=8, obs=obs)
+            simulate(RunSpec("copy", "pi", length=64, fifo_depth=8), obs=obs)
         assert cache.hits == 0  # the obs run neither read nor wrote
         assert len(cache) == 1
 

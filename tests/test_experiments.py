@@ -167,7 +167,7 @@ class TestRegistry:
         assert set(names) == {
             "figure1", "figure2", "timelines", "figure7", "figure8",
             "figure9", "headline", "channel", "refresh", "doublebank",
-            "cache", "l2", "fpm", "policy_matrix",
+            "cache", "l2", "fpm", "multi_client", "policy_matrix",
         }
 
     def test_cli_default_list_comes_from_registry(self):

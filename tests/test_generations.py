@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analytic.generations import GENERATIONS, RdramGeneration, generations_table
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 class TestPeaks:
@@ -40,9 +40,9 @@ class TestSustainedModel:
         """The first-order Direct figure is an upper bound the cycle
         simulator approaches from below."""
         model = GENERATIONS["direct"].sustained_stream_bandwidth()
-        simulated = simulate_kernel(
+        simulated = simulate(RunSpec(
             "copy", "cli", length=1024, fifo_depth=128
-        ).effective_bandwidth_bytes_per_sec
+        )).effective_bandwidth_bytes_per_sec
         assert simulated <= model
         assert simulated > 0.9 * model
 

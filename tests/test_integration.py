@@ -14,7 +14,7 @@ from repro.analytic.cache import natural_order_bound
 from repro.analytic.smc import smc_bound
 from repro.cpu.kernels import PAPER_KERNELS, get_kernel
 from repro.memsys.config import MemorySystemConfig
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 ORGS = ("cli", "pi")
 
@@ -32,7 +32,7 @@ class TestSmcBeatsNaturalOrder:
         cacheline accesses.'"""
         kernel = get_kernel(kernel_name)
         config = config_for(org)
-        smc = simulate_kernel(kernel, config, length=1024, fifo_depth=128)
+        smc = simulate(RunSpec(kernel, config, length=1024, fifo_depth=128))
         cache = natural_order_bound(
             config, kernel.num_read_streams, kernel.num_write_streams
         )
@@ -46,7 +46,7 @@ class TestSmcBeatsNaturalOrder:
             kernel = get_kernel(kernel_name)
             for org in ORGS:
                 config = config_for(org)
-                smc = simulate_kernel(kernel, config, length=1024, fifo_depth=128)
+                smc = simulate(RunSpec(kernel, config, length=1024, fifo_depth=128))
                 cache = natural_order_bound(
                     config, kernel.num_read_streams, kernel.num_write_streams
                 ).percent_of_peak
@@ -57,7 +57,7 @@ class TestSmcBeatsNaturalOrder:
     def test_copy_long_vector_near_peak(self):
         """'For copy with streams of 1024 elements, the SMC exploits
         over 98% of the system's peak bandwidth' (we allow 97%)."""
-        result = simulate_kernel("copy", "cli", length=1024, fifo_depth=128)
+        result = simulate(RunSpec("copy", "cli", length=1024, fifo_depth=128))
         assert result.percent_of_peak > 97.0
 
     @pytest.mark.parametrize("depth", [16, 32, 64, 128])
@@ -76,10 +76,10 @@ class TestSmcBeatsNaturalOrder:
             config, kernel.num_read_streams, kernel.num_write_streams
         ).percent_of_peak
         best_smc = max(
-            simulate_kernel(
+            simulate(RunSpec(
                 kernel, config, length=1024, fifo_depth=depth,
                 alignment=alignment,
-            ).percent_of_peak
+            )).percent_of_peak
             for alignment in ("staggered", "aligned")
         )
         assert best_smc > cache
@@ -88,15 +88,15 @@ class TestSmcBeatsNaturalOrder:
 class TestFifoDepthBehavior:
     @pytest.mark.parametrize("kernel_name", ["daxpy", "vaxpy"])
     def test_long_vectors_favor_deep_fifos(self, kernel_name):
-        shallow = simulate_kernel(kernel_name, "cli", length=1024, fifo_depth=8)
-        deep = simulate_kernel(kernel_name, "cli", length=1024, fifo_depth=128)
+        shallow = simulate(RunSpec(kernel_name, "cli", length=1024, fifo_depth=8))
+        deep = simulate(RunSpec(kernel_name, "cli", length=1024, fifo_depth=128))
         assert deep.percent_of_peak > shallow.percent_of_peak
 
     def test_short_vectors_penalize_deep_fifos(self):
         """Figure 7's descending 128-element curves: the startup delay
         makes the deepest FIFO worse than a mid-depth one."""
-        mid = simulate_kernel("vaxpy", "cli", length=128, fifo_depth=32)
-        deep = simulate_kernel("vaxpy", "cli", length=128, fifo_depth=128)
+        mid = simulate(RunSpec("vaxpy", "cli", length=128, fifo_depth=32))
+        deep = simulate(RunSpec("vaxpy", "cli", length=128, fifo_depth=128))
         assert mid.percent_of_peak > deep.percent_of_peak
 
     @pytest.mark.parametrize("org", ORGS)
@@ -107,7 +107,7 @@ class TestFifoDepthBehavior:
         config = config_for(org)
         for kernel_name in PAPER_KERNELS:
             kernel = get_kernel(kernel_name)
-            result = simulate_kernel(kernel, config, length=1024, fifo_depth=128)
+            result = simulate(RunSpec(kernel, config, length=1024, fifo_depth=128))
             bound = smc_bound(
                 config, kernel.num_read_streams, kernel.num_write_streams,
                 1024, 128,
@@ -121,12 +121,12 @@ class TestAlignmentSensitivity:
         and minimum bank-conflict simulations for SMC systems with PI
         organizations and FIFO depths of 32 elements or fewer.'"""
         for depth in (8, 16, 32):
-            aligned = simulate_kernel(
+            aligned = simulate(RunSpec(
                 "daxpy", "pi", length=1024, fifo_depth=depth, alignment="aligned"
-            )
-            staggered = simulate_kernel(
+            ))
+            staggered = simulate(RunSpec(
                 "daxpy", "pi", length=1024, fifo_depth=depth, alignment="staggered"
-            )
+            ))
             assert staggered.percent_of_peak - aligned.percent_of_peak > 5
 
     def test_cli_deep_fifos_insensitive_to_alignment(self):
@@ -134,12 +134,12 @@ class TestAlignmentSensitivity:
         CLI memory organizations ... with FIFOs deeper than 16
         elements.'"""
         for depth in (32, 64, 128):
-            aligned = simulate_kernel(
+            aligned = simulate(RunSpec(
                 "daxpy", "cli", length=1024, fifo_depth=depth, alignment="aligned"
-            )
-            staggered = simulate_kernel(
+            ))
+            staggered = simulate(RunSpec(
                 "daxpy", "cli", length=1024, fifo_depth=depth, alignment="staggered"
-            )
+            ))
             assert abs(
                 staggered.percent_of_peak - aligned.percent_of_peak
             ) < 6
@@ -148,9 +148,9 @@ class TestAlignmentSensitivity:
         """'With deep FIFOs and long vectors, the SMC can deliver good
         performance even for a sub-optimal data placement.'"""
         for org in ORGS:
-            aligned = simulate_kernel(
+            aligned = simulate(RunSpec(
                 "vaxpy", org, length=1024, fifo_depth=128, alignment="aligned"
-            )
+            ))
             assert aligned.percent_of_peak > 85
 
 
@@ -158,30 +158,30 @@ class TestProtocolSoundness:
     @pytest.mark.parametrize("org", ORGS)
     @pytest.mark.parametrize("kernel_name", list(PAPER_KERNELS))
     def test_smc_traces_audit_clean(self, org, kernel_name):
-        result = simulate_kernel(
+        result = simulate(RunSpec(
             kernel_name, org, length=256, fifo_depth=32, audit=True
-        )
+        ))
         assert result.cycles > 0
 
     @pytest.mark.parametrize("org", ORGS)
     def test_aligned_and_strided_traces_audit_clean(self, org):
-        simulate_kernel(
+        simulate(RunSpec(
             "vaxpy", org, length=128, fifo_depth=16, alignment="aligned",
             audit=True,
-        )
-        simulate_kernel(
+        ))
+        simulate(RunSpec(
             "vaxpy", org, length=128, fifo_depth=32, stride=12, audit=True
-        )
+        ))
 
     @pytest.mark.parametrize(
         "policy", ["round-robin", "bank-aware", "speculative-precharge"]
     )
     def test_all_policies_audit_clean(self, policy):
         for org in ORGS:
-            result = simulate_kernel(
+            result = simulate(RunSpec(
                 "daxpy", org, length=256, fifo_depth=32, policy=policy,
                 audit=True,
-            )
+            ))
             assert result.percent_of_peak > 30
 
 
@@ -190,13 +190,13 @@ class TestPolicyExtensions:
         """Hong's thesis policy: avoiding busy banks recovers bandwidth
         lost to conflicts on a worst-case placement (aligned vectors,
         shallow FIFOs on CLI)."""
-        base = simulate_kernel(
+        base = simulate(RunSpec(
             "daxpy", "cli", length=1024, fifo_depth=8, alignment="aligned"
-        )
-        aware = simulate_kernel(
+        ))
+        aware = simulate(RunSpec(
             "daxpy", "cli", length=1024, fifo_depth=8, alignment="aligned",
             policy="bank-aware",
-        )
+        ))
         assert aware.percent_of_peak > base.percent_of_peak
 
     def test_bank_aware_never_catastrophic(self):
@@ -205,23 +205,23 @@ class TestPolicyExtensions:
         for org in ORGS:
             for depth in (8, 16, 64):
                 for alignment in ("aligned", "staggered"):
-                    base = simulate_kernel(
+                    base = simulate(RunSpec(
                         "vaxpy", org, length=1024, fifo_depth=depth,
                         alignment=alignment,
-                    )
-                    aware = simulate_kernel(
+                    ))
+                    aware = simulate(RunSpec(
                         "vaxpy", org, length=1024, fifo_depth=depth,
                         alignment=alignment, policy="bank-aware",
-                    )
+                    ))
                     assert aware.percent_of_peak > (
                         0.66 * base.percent_of_peak
                     )
 
     def test_policies_do_not_change_data_moved(self):
         results = {
-            policy: simulate_kernel(
+            policy: simulate(RunSpec(
                 "daxpy", "pi", length=256, fifo_depth=32, policy=policy
-            )
+            ))
             for policy in ("round-robin", "bank-aware", "speculative-precharge")
         }
         bytes_moved = {r.transferred_bytes for r in results.values()}
@@ -235,7 +235,7 @@ class TestRobustness:
         deep FIFOs on long vectors."""
         for org in ORGS:
             values = [
-                simulate_kernel(k, org, length=1024, fifo_depth=128).percent_of_peak
+                simulate(RunSpec(k, org, length=1024, fifo_depth=128)).percent_of_peak
                 for k in PAPER_KERNELS
             ]
             assert max(values) - min(values) < 6

@@ -16,7 +16,7 @@ from repro.memsys.config import MemorySystemConfig
 from repro.rdram.audit import audit_trace
 from repro.rdram.channel import ChannelGeometry
 from repro.rdram.device import RdramGeometry
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 class TestChannelCombinations:
@@ -26,9 +26,9 @@ class TestChannelCombinations:
             device=RdramGeometry(num_banks=16, doubled_banks=True),
         )
         config = MemorySystemConfig.cli(geometry=geometry)
-        result = simulate_kernel(
+        result = simulate(RunSpec(
             "daxpy", config, length=512, fifo_depth=32, audit=True
-        )
+        ))
         assert result.percent_of_peak > 75
 
     def test_gather_on_a_channel(self):
@@ -44,10 +44,10 @@ class TestChannelCombinations:
         config = MemorySystemConfig.cli(
             geometry=ChannelGeometry(num_devices=2)
         )
-        result = simulate_kernel(
+        result = simulate(RunSpec(
             "copy", config, length=1024, fifo_depth=64, refresh=True,
             audit=True,
-        )
+        ))
         assert result.refreshes > 0
         assert result.percent_of_peak > 85
 
@@ -55,14 +55,14 @@ class TestChannelCombinations:
         config = MemorySystemConfig.cli(
             geometry=ChannelGeometry(num_devices=4)
         )
-        result = simulate_kernel(
+        result = simulate(RunSpec(
             "vaxpy", config, length=512, fifo_depth=64, stride=4, audit=True
-        )
+        ))
         # 32 global banks absorb the stride-4 concentration better
         # than a single device's 8.
-        single = simulate_kernel(
+        single = simulate(RunSpec(
             "vaxpy", "cli", length=512, fifo_depth=64, stride=4
-        )
+        ))
         assert result.percent_of_attainable >= single.percent_of_attainable
 
 

@@ -11,7 +11,7 @@ from repro.cpu.kernels import COPY, DAXPY, VAXPY
 from repro.cpu.streams import Alignment
 from repro.memsys.config import MemorySystemConfig
 from repro.rdram.audit import audit_trace
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 class TestConstruction:
@@ -106,5 +106,5 @@ class TestAgainstFifoSmc:
         l2 = L2StreamingController(pi_config, prefetch_window=8).run(
             DAXPY, length=1024
         )
-        fifo = simulate_kernel("daxpy", pi_config, length=1024, fifo_depth=32)
+        fifo = simulate(RunSpec("daxpy", pi_config, length=1024, fifo_depth=32))
         assert fifo.percent_of_peak > l2.percent_of_peak

@@ -27,7 +27,7 @@ from repro.obs.export import (
 from repro.sim.cli import main as simulate_main
 from repro.sim.engine import run_smc
 from repro.sim.metrics import measure_trace
-from repro.sim.runner import resolve_config, simulate_kernel
+from repro.sim.runner import RunSpec, resolve_config, simulate
 
 KERNELS = ("copy", "daxpy", "vaxpy")
 ORGS = ("cli", "pi")
@@ -35,8 +35,10 @@ ORGS = ("cli", "pi")
 
 def run_instrumented(kernel, org, length=1024, depth=64, **kwargs):
     obs = Instrumentation()
-    result = simulate_kernel(kernel, org, length=length, fifo_depth=depth,
-                             obs=obs, **kwargs)
+    result = simulate(
+        RunSpec(kernel, org, length=length, fifo_depth=depth, **kwargs),
+        obs=obs,
+    )
     return obs, result
 
 

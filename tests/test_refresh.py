@@ -7,7 +7,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.rdram.audit import audit_trace
 from repro.rdram.refresh import DEFAULT_INTERVAL_CYCLES, RefreshEngine
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 class TestEngineMechanics:
@@ -63,23 +63,23 @@ class TestEngineMechanics:
 class TestRefreshInSimulation:
     @pytest.mark.parametrize("org", ["cli", "pi"])
     def test_refreshed_runs_stay_legal_and_close(self, org):
-        base = simulate_kernel("daxpy", org, length=1024, fifo_depth=64)
-        refreshed = simulate_kernel(
+        base = simulate(RunSpec("daxpy", org, length=1024, fifo_depth=64))
+        refreshed = simulate(RunSpec(
             "daxpy", org, length=1024, fifo_depth=64, refresh=True, audit=True
-        )
+        ))
         assert refreshed.refreshes > 0
         # The paper's ignore-refresh assumption: cost under 4 points.
         assert refreshed.percent_of_peak > base.percent_of_peak - 4
 
     def test_refresh_count_scales_with_runtime(self):
-        short = simulate_kernel(
+        short = simulate(RunSpec(
             "copy", "cli", length=256, fifo_depth=32, refresh=True
-        )
-        long = simulate_kernel(
+        ))
+        long = simulate(RunSpec(
             "copy", "cli", length=2048, fifo_depth=32, refresh=True
-        )
+        ))
         assert long.refreshes > short.refreshes
 
     def test_no_refreshes_by_default(self):
-        result = simulate_kernel("copy", "cli", length=256, fifo_depth=32)
+        result = simulate(RunSpec("copy", "cli", length=256, fifo_depth=32))
         assert result.refreshes == 0

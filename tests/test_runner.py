@@ -9,9 +9,10 @@ from repro.core.policies import BankAwarePolicy
 from repro.memsys.config import Interleaving, MemorySystemConfig
 from repro.sim.runner import (
     ORGANIZATIONS,
+    RunSpec,
     resolve_config,
     resolve_policy,
-    simulate_kernel,
+    simulate,
 )
 
 
@@ -44,44 +45,44 @@ class TestResolvers:
 
 class TestSimulateKernel:
     def test_by_name(self):
-        result = simulate_kernel("copy", "cli", length=64, fifo_depth=16)
+        result = simulate(RunSpec("copy", "cli", length=64, fifo_depth=16))
         assert result.kernel == "copy"
         assert result.fifo_depth == 16
         assert result.length == 64
 
     def test_alignment_strings(self):
-        aligned = simulate_kernel(
+        aligned = simulate(RunSpec(
             "copy", "pi", length=64, fifo_depth=8, alignment="aligned"
-        )
+        ))
         assert aligned.alignment == "aligned"
 
     def test_bad_alignment_string(self):
         with pytest.raises(ValueError):
-            simulate_kernel("copy", "cli", length=64, fifo_depth=8,
-                            alignment="diagonal")
+            simulate(RunSpec("copy", "cli", length=64, fifo_depth=8,
+                            alignment="diagonal"))
 
     def test_policy_string(self):
-        result = simulate_kernel(
+        result = simulate(RunSpec(
             "daxpy", "pi", length=64, fifo_depth=16, policy="bank-aware"
-        )
+        ))
         assert result.policy == "bank-aware"
 
     def test_audited_run(self):
-        result = simulate_kernel("vaxpy", "cli", length=64, fifo_depth=16, audit=True)
+        result = simulate(RunSpec("vaxpy", "cli", length=64, fifo_depth=16, audit=True))
         assert result.cycles > 0
 
     def test_unknown_kernel(self):
         from repro.errors import StreamError
         with pytest.raises(StreamError, match="unknown kernel"):
-            simulate_kernel("fft", "cli")
+            simulate(RunSpec("fft", "cli"))
 
     def test_summary_renders(self):
-        result = simulate_kernel("copy", "cli", length=64, fifo_depth=16)
+        result = simulate(RunSpec("copy", "cli", length=64, fifo_depth=16))
         line = result.summary()
         assert "copy" in line and "% peak" in line
 
     def test_effective_bandwidth_scales_with_percent(self):
-        result = simulate_kernel("copy", "pi", length=128, fifo_depth=32)
+        result = simulate(RunSpec("copy", "pi", length=128, fifo_depth=32))
         assert result.effective_bandwidth_bytes_per_sec == pytest.approx(
             result.percent_of_peak / 100 * 1.6e9
         )

@@ -12,7 +12,6 @@ from repro.sim.runner import (
     RunSpec,
     apply_policy_overrides,
     simulate,
-    simulate_kernel,
 )
 
 
@@ -95,9 +94,9 @@ class TestSimulateOverrides:
         config = dataclasses.replace(
             MemorySystemConfig.cli(), page_policy=PagePolicy.TIMEOUT
         )
-        direct = simulate_kernel(
+        direct = simulate(RunSpec(
             "daxpy", config, length=64, fifo_depth=16
-        )
+        ))
         assert via_override == direct
 
     def test_apply_policy_overrides_replaces_only_what_is_given(self):
@@ -107,13 +106,13 @@ class TestSimulateOverrides:
         assert swapped.page_policy is PagePolicy.OPEN
         assert swapped.interleaving is Interleaving.CACHELINE
 
-    def test_simulate_kernel_accepts_override_kwargs(self):
-        result = simulate_kernel(
+    def test_run_spec_accepts_override_kwargs(self):
+        result = simulate(RunSpec(
             "copy",
             "pi",
             length=64,
             fifo_depth=16,
             interleaving="swizzle",
             page_policy="hybrid",
-        )
+        ))
         assert result.cycles > 0

@@ -7,7 +7,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.analytic.smc import smc_bound
 from repro.memsys.config import MemorySystemConfig
-from repro.sim.runner import simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 @pytest.fixture
@@ -55,9 +55,9 @@ class TestStridedSmcBound:
         paper's, whose simulations also occasionally touch their
         bounds) slightly beats at small strides."""
         bound = smc_bound(pi, 3, 1, 1024, 128, stride=stride)
-        result = simulate_kernel(
+        result = simulate(RunSpec(
             "vaxpy", pi, length=1024, fifo_depth=128, stride=stride
-        )
+        ))
         assert result.percent_of_attainable <= (
             bound.percent_combined_limit + 2.0
         )

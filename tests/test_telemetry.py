@@ -20,11 +20,8 @@ from repro.obs import (
     classify_stall_intervals,
 )
 from repro.obs.metrics import (
-    Counter,
-    Gauge,
     Histogram,
     MetricsRegistry,
-    Series,
     load_metrics_jsonl,
     to_prometheus,
     write_metrics_csv,
@@ -35,7 +32,7 @@ from repro.obs.telemetry import build_windowed_series
 from repro.exec.pool import run_specs
 from repro.exec.stats import SweepStats
 from repro.sim.engine import run_smc
-from repro.sim.runner import RunSpec, simulate_kernel
+from repro.sim.runner import RunSpec, simulate
 
 
 def run_instrumented(kernel="copy", org="cli", length=256, window=64):
@@ -248,9 +245,9 @@ class TestTelemetryReconciliation:
 
 class TestTelemetryNeutrality:
     def test_attached_equals_detached_bit_for_bit(self):
-        plain = simulate_kernel("daxpy", "cli", length=256)
+        plain = simulate(RunSpec("daxpy", "cli", length=256))
         obs = Instrumentation(telemetry_window=64)
-        watched = simulate_kernel("daxpy", "cli", length=256, obs=obs)
+        watched = simulate(RunSpec("daxpy", "cli", length=256), obs=obs)
         assert watched.to_dict() == plain.to_dict()
 
     def test_spec_window_shares_cache_key(self):

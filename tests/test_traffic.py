@@ -1,0 +1,222 @@
+"""Tests for the open-loop multi-client traffic layer.
+
+Covers workload validation and seeded determinism (identical latency
+histograms across repeated runs), Zipf hot-set skew concentrating
+bank traffic, the per-client bank-budget regulator enforcing its
+rate bound, and a four-channel run reporting latency percentiles and
+balanced per-channel bandwidth shares.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsys.address import get_address_mapping
+from repro.memsys.config import MemorySystemConfig, MemoryTopology
+from repro.obs.metrics import MetricsRegistry
+from repro.traffic import (
+    BankBudgetRegulator,
+    TrafficWorkload,
+    generate_requests,
+    run_traffic,
+)
+
+#: Small populations keep each simulated run under a second.
+SMALL = TrafficWorkload(clients=64, requests=200, seed=9)
+
+HOT = TrafficWorkload(
+    clients=8,
+    requests=400,
+    mean_gap=1.0,
+    zipf_s=2.5,
+    hot_lines=2,
+    hot_fraction=1.0,
+    seed=5,
+)
+
+
+class TestWorkloadValidation:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("clients", 0),
+            ("requests", 0),
+            ("mean_gap", 0.0),
+            ("zipf_s", -1.0),
+            ("hot_lines", 0),
+            ("hot_fraction", 1.5),
+            ("write_fraction", -0.1),
+        ],
+    )
+    def test_rejects_bad_parameters(self, field, value):
+        with pytest.raises(ConfigurationError):
+            TrafficWorkload(**{field: value})
+
+
+class TestRequestGeneration:
+    def test_deterministic_per_seed(self, cli_config):
+        mapping = get_address_mapping(cli_config)
+        first = generate_requests(SMALL, mapping)
+        second = generate_requests(SMALL, mapping)
+        assert first == second
+
+    def test_different_seeds_differ(self, cli_config):
+        mapping = get_address_mapping(cli_config)
+        a = generate_requests(SMALL, mapping)
+        b = generate_requests(
+            TrafficWorkload(clients=64, requests=200, seed=10), mapping
+        )
+        assert a != b
+
+    def test_arrivals_sorted_and_addresses_in_range(self, cli_config):
+        mapping = get_address_mapping(cli_config)
+        requests = generate_requests(SMALL, mapping)
+        assert len(requests) == SMALL.requests
+        arrivals = [request.arrival for request in requests]
+        assert arrivals == sorted(arrivals)
+        line = cli_config.cacheline_bytes
+        for request in requests:
+            assert 0 <= request.address < mapping.capacity_bytes
+            assert request.address % line == 0
+
+    def test_write_fraction_zero_is_all_reads(self, cli_config):
+        from repro.rdram.packets import BusDirection
+
+        mapping = get_address_mapping(cli_config)
+        requests = generate_requests(
+            TrafficWorkload(
+                clients=8, requests=100, write_fraction=0.0, seed=2
+            ),
+            mapping,
+        )
+        assert all(r.direction is BusDirection.READ for r in requests)
+
+
+class TestSeededDeterminism:
+    def test_identical_latency_histograms(self):
+        registries = [MetricsRegistry(), MetricsRegistry()]
+        results = [
+            run_traffic(workload=SMALL, channels=2, registry=registry)
+            for registry in registries
+        ]
+        histograms = [
+            registry.histogram("traffic.latency_cycles")
+            for registry in registries
+        ]
+        assert histograms[0].bucket_counts == histograms[1].bucket_counts
+        assert results[0].p50_latency == results[1].p50_latency
+        assert results[0].p99_latency == results[1].p99_latency
+        assert results[0].channel_bytes == results[1].channel_bytes
+        assert results[0].bank_bytes == results[1].bank_bytes
+
+
+class TestZipfSkew:
+    def test_hot_sets_concentrate_bank_traffic(self):
+        skewed = run_traffic(
+            workload=TrafficWorkload(
+                clients=4,
+                requests=400,
+                zipf_s=2.0,
+                hot_lines=8,
+                hot_fraction=1.0,
+                seed=3,
+            )
+        )
+        uniform = run_traffic(
+            workload=TrafficWorkload(
+                clients=4,
+                requests=400,
+                zipf_s=0.0,
+                hot_fraction=0.0,
+                seed=3,
+            )
+        )
+        top_skewed = max(
+            skewed.bank_share(bank) for bank in skewed.bank_bytes
+        )
+        top_uniform = max(
+            uniform.bank_share(bank) for bank in uniform.bank_bytes
+        )
+        assert top_skewed > top_uniform
+
+
+class TestRegulator:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BankBudgetRegulator(window_cycles=0)
+        with pytest.raises(ConfigurationError):
+            BankBudgetRegulator(budget_bytes=0)
+
+    def test_budget_below_cacheline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_traffic(
+                workload=HOT,
+                regulator=BankBudgetRegulator(
+                    window_cycles=512, budget_bytes=16
+                ),
+            )
+
+    def test_bounds_hot_client_bank_rate(self):
+        free = run_traffic(workload=HOT)
+        regulator = BankBudgetRegulator(window_cycles=512, budget_bytes=32)
+        capped = run_traffic(workload=HOT, regulator=regulator)
+        bound = regulator.budget_bytes / regulator.window_cycles
+        # Slack covers the fractional final window.
+        assert capped.max_client_bank_rate <= bound * 1.1
+        assert capped.max_client_bank_rate < free.max_client_bank_rate
+        assert capped.deferrals > 0
+        # Regulation defers, never drops: all traffic is still served.
+        assert capped.total_bytes == free.total_bytes
+        assert capped.cycles > free.cycles
+
+    def test_unregulated_run_reports_no_deferrals(self):
+        result = run_traffic(workload=SMALL)
+        assert not result.regulated and result.deferrals == 0
+
+
+class TestFourChannelRun:
+    def test_percentiles_and_shares(self):
+        result = run_traffic(
+            workload=TrafficWorkload(clients=128, requests=400, seed=11),
+            channels=4,
+        )
+        assert result.channels == 4
+        assert 0 < result.p50_latency <= result.p90_latency
+        assert result.p90_latency <= result.p99_latency
+        assert len(result.channel_bytes) == 4
+        assert sum(result.channel_shares) == pytest.approx(1.0)
+        # Channel striping keeps the load roughly balanced.
+        assert max(result.channel_shares) < 2 * min(result.channel_shares)
+        assert result.total_bytes == sum(result.bank_bytes.values())
+        assert result.total_bytes == sum(result.client_bytes.values())
+
+    def test_more_channels_cut_latency(self):
+        workload = TrafficWorkload(
+            clients=128, requests=400, mean_gap=2.0, seed=11
+        )
+        single = run_traffic(workload=workload, channels=1)
+        quad = run_traffic(workload=workload, channels=4)
+        assert quad.p50_latency < single.p50_latency
+        assert quad.cycles < single.cycles
+
+
+class TestTopologyArguments:
+    def test_config_and_arguments_conflict(self):
+        config = MemorySystemConfig.cli(
+            topology=MemoryTopology(channels=2)
+        )
+        with pytest.raises(ConfigurationError):
+            run_traffic(config=config, workload=SMALL, channels=4)
+
+    def test_config_topology_accepted_directly(self):
+        config = MemorySystemConfig.cli(
+            topology=MemoryTopology(channels=2)
+        )
+        result = run_traffic(config=config, workload=SMALL)
+        assert result.channels == 2
+
+    def test_summary_mentions_shares(self):
+        result = run_traffic(workload=SMALL, channels=2)
+        assert "p50=" in result.summary()
+        assert "channel shares" in result.summary()
