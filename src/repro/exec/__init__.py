@@ -21,6 +21,8 @@ from repro.exec.cache import ResultCache, default_salt
 from repro.exec.context import (
     ExecutionContext,
     active_cache,
+    active_ledger,
+    active_stats,
     active_workers,
     execution,
 )
@@ -31,6 +33,8 @@ __all__ = [
     "default_salt",
     "ExecutionContext",
     "active_cache",
+    "active_ledger",
+    "active_stats",
     "active_workers",
     "execution",
     "ProgressEvent",

@@ -25,6 +25,7 @@ from typing import Iterator, List, Optional, Union
 
 from repro.exec.cache import ResultCache
 from repro.exec.stats import SweepStats
+from repro.obs.ledger import LedgerWriter
 
 
 @dataclass
@@ -38,11 +39,15 @@ class ExecutionContext:
         stats: Optional sweep-level metrics accumulator; every
             :func:`~repro.exec.pool.run_specs` batch inside the
             context reports into it.
+        ledger: Optional append-only run ledger
+            (:class:`~repro.obs.ledger.LedgerWriter`); every batch in
+            the context writes its lifecycle events to it.
     """
 
     workers: Optional[int] = None
     cache: Optional[ResultCache] = None
     stats: Optional[SweepStats] = None
+    ledger: Optional[LedgerWriter] = None
 
 
 _STACK: List[ExecutionContext] = []
@@ -57,27 +62,45 @@ def coerce_cache(
     return ResultCache(cache)
 
 
+def coerce_ledger(
+    ledger: Union[LedgerWriter, str, "os.PathLike[str]", None]
+) -> Optional[LedgerWriter]:
+    """Accept a LedgerWriter, a JSONL file path, or None."""
+    if ledger is None or isinstance(ledger, LedgerWriter):
+        return ledger
+    return LedgerWriter(ledger)
+
+
 @contextmanager
 def execution(
     workers: Optional[int] = None,
     cache: Union[ResultCache, str, "os.PathLike[str]", None] = None,
     stats: Optional[SweepStats] = None,
+    ledger: Union[LedgerWriter, str, "os.PathLike[str]", None] = None,
 ) -> Iterator[ExecutionContext]:
     """Install an ambient execution context for the enclosed block.
 
     Contexts nest; the innermost one wins.  ``cache`` may be a
     :class:`~repro.exec.cache.ResultCache` or a directory path;
     ``stats`` a :class:`~repro.exec.stats.SweepStats` collecting
-    sweep-level metrics across every batch in the block.
+    sweep-level metrics across every batch in the block; ``ledger`` a
+    :class:`~repro.obs.ledger.LedgerWriter` (or a JSONL file path)
+    receiving one event per spec lifecycle transition.  A ledger
+    opened here from a path is closed when the block exits.
     """
+    opened = ledger is not None and not isinstance(ledger, LedgerWriter)
+    writer = coerce_ledger(ledger)
     context = ExecutionContext(
-        workers=workers, cache=coerce_cache(cache), stats=stats
+        workers=workers, cache=coerce_cache(cache), stats=stats,
+        ledger=writer,
     )
     _STACK.append(context)
     try:
         yield context
     finally:
         _STACK.remove(context)
+        if opened and writer is not None:
+            writer.close()
 
 
 def current() -> Optional[ExecutionContext]:
@@ -101,3 +124,9 @@ def active_stats() -> Optional[SweepStats]:
     """The active context's sweep-stats accumulator, or None."""
     context = current()
     return context.stats if context else None
+
+
+def active_ledger() -> Optional[LedgerWriter]:
+    """The active context's run-ledger writer, or None."""
+    context = current()
+    return context.ledger if context else None

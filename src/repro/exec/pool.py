@@ -34,6 +34,7 @@ from repro.errors import ExecutionError
 from repro.exec import context as _context
 from repro.exec.cache import ResultCache
 from repro.exec.stats import SweepStats
+from repro.obs.ledger import LedgerWriter
 from repro.sim import runner as _runner
 from repro.sim.results import SimulationResult
 from repro.sim.runner import RunSpec
@@ -97,7 +98,11 @@ def _worker_run(payload: Dict[str, Any]) -> Dict[str, Any]:
     _maybe_crash(spec)
     started = time.perf_counter()
     result = _runner.simulate(spec).to_dict()
-    return {"result": result, "wall_s": time.perf_counter() - started}
+    return {
+        "result": result,
+        "wall_s": time.perf_counter() - started,
+        "worker": os.getpid(),
+    }
 
 
 def run_specs(
@@ -108,6 +113,7 @@ def run_specs(
     progress: Optional[ProgressCallback] = None,
     retries: int = 1,
     stats: Optional["SweepStats"] = None,
+    ledger: Optional[LedgerWriter] = None,
 ) -> List[SimulationResult]:
     """Execute a batch of run specifications.
 
@@ -127,6 +133,11 @@ def run_specs(
             (:class:`~repro.exec.stats.SweepStats`); None falls back
             to the active context's.  Receives every completed point
             with its cache status and (for fresh runs) wall time.
+        ledger: Append-only run ledger
+            (:class:`~repro.obs.ledger.LedgerWriter`); None falls
+            back to the active context's.  Receives one event per
+            lifecycle transition of every point.  Observation only —
+            results, cache keys, and cache contents are untouched.
 
     Returns:
         Results in the same order as ``specs``.
@@ -156,21 +167,44 @@ def run_specs(
         cache = _context.active_cache()
     if stats is None:
         stats = _context.active_stats()
+    if ledger is None:
+        ledger = _context.active_ledger()
 
     total = len(specs)
     pooled = workers is not None and workers > 1
     if stats is not None:
         stats.begin_batch(total, workers if pooled else 1)
+    batch = (
+        ledger.begin_batch(total, workers if pooled else 1)
+        if ledger is not None
+        else 0
+    )
+    keys = (
+        [spec.canonical_key() for spec in specs]
+        if ledger is not None
+        else []
+    )
+    dispatched_at: Dict[int, float] = {}
+
+    def note(event: str, index: int, **fields: object) -> Optional[float]:
+        if ledger is None:
+            return None
+        return ledger.record(
+            event, batch=batch, index=index, key=keys[index], **fields
+        )
+
     results: List[Optional[SimulationResult]] = [None] * total
     pending: Dict[int, RunSpec] = {}
     done = 0
 
     try:
         for index, spec in enumerate(specs):
+            note("queued", index, label=spec.describe())
             hit = cache.get(spec) if cache is not None else None
             if hit is not None:
                 results[index] = hit
                 done += 1
+                note("cache_hit", index)
                 if stats is not None:
                     stats.note_point(cached=True)
                 if progress is not None:
@@ -180,15 +214,36 @@ def run_specs(
             else:
                 pending[index] = spec
 
+        def dispatched(index: int) -> None:
+            stamp = note("dispatched", index)
+            if stamp is not None:
+                dispatched_at[index] = stamp
+
         def landed(
             index: int,
             result: SimulationResult,
             wall_s: Optional[float] = None,
+            worker: Optional[object] = None,
         ) -> None:
             nonlocal done
             results[index] = result
             del pending[index]
             done += 1
+            if ledger is not None:
+                # The worker's start time is reconstructed on the
+                # parent's clock: landing time minus the in-worker
+                # wall time, clamped so it never precedes dispatch.
+                now = ledger.now()
+                note(
+                    "started",
+                    index,
+                    worker=worker,
+                    t=max(
+                        dispatched_at.get(index, 0.0),
+                        now - (wall_s or 0.0),
+                    ),
+                )
+                note("completed", index, worker=worker, wall_s=wall_s)
             if cache is not None:
                 cache.put(specs[index], result)
             if stats is not None:
@@ -204,12 +259,18 @@ def run_specs(
             return results  # fully warm
 
         if pooled:
-            _run_pooled(pending, workers, retries, landed)
+            _run_pooled(pending, workers, retries, landed, dispatched, note)
         else:
             for index in sorted(pending):
+                dispatched(index)
                 started = time.perf_counter()
                 result = _runner.simulate(specs[index])
-                landed(index, result, time.perf_counter() - started)
+                landed(
+                    index,
+                    result,
+                    time.perf_counter() - started,
+                    worker="main",
+                )
         return results
     finally:
         if stats is not None:
@@ -221,6 +282,8 @@ def _run_pooled(
     workers: int,
     retries: int,
     landed: Callable[..., None],
+    dispatched: Optional[Callable[[int], None]] = None,
+    note: Optional[Callable[..., Optional[float]]] = None,
 ) -> None:
     """Drain ``pending`` through process pools, retrying after crashes."""
     # Serialize up front so unserializable specs fail fast and clearly.
@@ -231,10 +294,11 @@ def _run_pooled(
         with ProcessPoolExecutor(
             max_workers=min(workers, len(pending))
         ) as pool:
-            futures = {
-                pool.submit(_worker_run, payloads[index]): index
-                for index in sorted(pending)
-            }
+            futures = {}
+            for index in sorted(pending):
+                if dispatched is not None:
+                    dispatched(index)
+                futures[pool.submit(_worker_run, payloads[index])] = index
             for future in as_completed(futures):
                 index = futures[future]
                 try:
@@ -246,12 +310,19 @@ def _run_pooled(
                     index,
                     SimulationResult.from_dict(payload["result"]),
                     payload.get("wall_s"),
+                    payload.get("worker"),
                 )
         if crash is None:
             continue  # pending is empty; loop exits
         # We cannot tell which in-flight point killed the worker, so
         # every unfinished point is charged one attempt and resubmitted.
         exhausted = _charge_crash(pending, attempts, retries)
+        if note is not None:
+            for index in sorted(pending):
+                if attempts[index] > retries:
+                    note("failed", index, attempts=attempts[index])
+                else:
+                    note("retried", index, attempt=attempts[index])
         if exhausted:
             labels = ", ".join(spec.describe() for spec in exhausted)
             raise ExecutionError(

@@ -14,6 +14,7 @@ simulated points (see :mod:`repro.exec`)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -91,6 +92,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="DIR",
         help="content-addressed result cache directory; previously "
              "simulated points are reused instead of re-run",
+    )
+    parser.add_argument(
+        "--ledger",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append one JSONL event per sweep-point lifecycle "
+             "transition to FILE (render with repro-report)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress live per-point progress on stderr (implied "
+             "when stderr is not a terminal or CI is set); the "
+             "end-of-run summary still prints",
     )
     parser.add_argument(
         "--list",
@@ -174,8 +190,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         set_default_engine(args.engine)
     started = time.time()
-    stats = SweepStats(stream=sys.stderr if sys.stderr.isatty() else None)
-    with execution(workers=args.workers, cache=args.cache, stats=stats):
+    live = (
+        sys.stderr.isatty()
+        and not args.quiet
+        and not os.environ.get("CI")
+    )
+    stats = SweepStats(stream=sys.stderr if live else None)
+    with execution(
+        workers=args.workers, cache=args.cache, stats=stats,
+        ledger=args.ledger,
+    ):
         results = collect(args.experiments or EXPERIMENTS)
         for slug, table in results:
             sys.stdout.write(table.render())

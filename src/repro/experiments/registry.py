@@ -175,7 +175,7 @@ def _multi_client() -> Tables:
     return [
         (f"multi_client_{name}", table)
         for name, table in zip(
-            ("scaling", "regulation"), multi_client.run()
+            ("scaling", "attribution", "regulation"), multi_client.run()
         )
     ]
 

@@ -25,9 +25,11 @@ See :mod:`repro.obs.core` for the primitives,
 :mod:`repro.obs.attribution` for the exact cycle accounting,
 :mod:`repro.obs.telemetry` for the sampling probe and windowed series,
 :mod:`repro.obs.metrics` for the registry and its exporters,
-:mod:`repro.obs.export` for Perfetto/JSONL I/O, and the
-``repro-trace`` / ``repro-metrics`` CLIs for inspecting exported
-files.
+:mod:`repro.obs.export` for Perfetto/JSONL I/O,
+:mod:`repro.obs.ledger` for the append-only run ledger,
+:mod:`repro.obs.report` for self-contained HTML reports, and the
+``repro-trace`` / ``repro-metrics`` / ``repro-report`` CLIs for
+inspecting exported files.
 """
 
 from repro.obs.attribution import (
@@ -58,6 +60,7 @@ from repro.obs.metrics import (
     write_metrics_csv,
     write_metrics_jsonl,
 )
+from repro.obs.ledger import Ledger, LedgerWriter
 from repro.obs.telemetry import (
     TelemetryProbe,
     TelemetrySource,
@@ -76,6 +79,8 @@ __all__ = [
     "Histogram",
     "InstantEvent",
     "Instrumentation",
+    "Ledger",
+    "LedgerWriter",
     "MetricsRegistry",
     "Series",
     "SpanEvent",
@@ -89,7 +94,18 @@ __all__ = [
     "finalize_telemetry",
     "format_stall_table",
     "load_metrics_jsonl",
+    "render_report",
     "to_prometheus",
     "write_metrics_csv",
     "write_metrics_jsonl",
 ]
+
+
+def __getattr__(name: str):
+    # Imported lazily so `python -m repro.obs.report` doesn't trip
+    # runpy's found-in-sys.modules warning via this package import.
+    if name == "render_report":
+        from repro.obs.report import render_report
+
+        return render_report
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -408,12 +408,25 @@ def _prom_name(name: str) -> str:
     return text
 
 
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash first — escaping it later would double the marks the
+    other two replacements introduce.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Labels, extra: Optional[Tuple[Tuple[str, str], ...]] = None) -> str:
     pairs = list(labels) + list(extra or ())
     if not pairs:
         return ""
     body = ",".join(
-        f'{_prom_name(k)}="{v}"' for k, v in pairs
+        f'{_prom_name(k)}="{_prom_escape(str(v))}"' for k, v in pairs
     )
     return "{" + body + "}"
 

@@ -11,6 +11,7 @@ and (optionally) the effect of per-client bank-budget regulation.
 
 from repro.traffic.workload import Request, TrafficWorkload, generate_requests
 from repro.traffic.driver import (
+    COMPONENTS,
     BankBudgetRegulator,
     TrafficResult,
     run_traffic,
@@ -18,6 +19,7 @@ from repro.traffic.driver import (
 
 __all__ = [
     "BankBudgetRegulator",
+    "COMPONENTS",
     "Request",
     "TrafficResult",
     "TrafficWorkload",

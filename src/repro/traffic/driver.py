@@ -18,23 +18,36 @@ and per client.  An optional :class:`BankBudgetRegulator` enforces
 per-client bank budgets per time window (Sullivan-style bandwidth
 regulation): a client over budget on a bank has its requests deferred
 to the next window, bounding the bank share any one client can take.
+
+Every request's latency is additionally *attributed*: the per-request
+analogue of the seven-bucket DATA-bus stall attribution
+(:mod:`repro.obs.attribution`).  Each channel memory carries an
+:class:`~repro.obs.core.Instrumentation` whose
+:class:`~repro.obs.core.DataBusGap` records — the same single source
+of truth the closed-loop attribution partitions — are classified per
+request into :data:`COMPONENTS`, and the components sum *exactly* to
+the measured latency (an :class:`~repro.errors.ObservabilityError`
+otherwise, so the accounting can never silently drift).
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ObservabilityError
 from repro.memsys.address import get_address_mapping
 from repro.memsys.config import MemorySystemConfig, MemoryTopology
 from repro.memsys.pagemanager import make_page_manager
+from repro.obs.core import DataBusGap, Instrumentation
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.rdram.channel import make_memory
 from repro.rdram.fabric import MemoryFabric
+from repro.rdram.refresh import DEFAULT_INTERVAL_CYCLES, RefreshEngine
 from repro.rdram.timing import DATA_PACKET_BYTES
-from repro.sim.kernel import Simulation
+from repro.sim.kernel import BackgroundComponent, Simulation
 from repro.traffic.workload import Request, TrafficWorkload, generate_requests
 
 #: Latency histogram bucket bounds, in interface-clock cycles.
@@ -42,6 +55,43 @@ LATENCY_BUCKETS = (
     8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
     2048.0, 4096.0, 8192.0, 16384.0, 32768.0, 65536.0,
 )
+
+#: Per-request latency components, in reporting order.  For every
+#: served request they sum *exactly* to its measured latency:
+#:
+#: ``queue_wait``
+#:     Arrival to service start (FCFS queueing plus regulator holds).
+#: ``bank_busy``
+#:     Service cycles below the bank-readiness bound — precharge,
+#:     activate, and t_RCD of the banks the request touched.
+#: ``refresh_blocked``
+#:     Bank/bus wait cycles covered by a background refresh span
+#:     (only nonzero when ``run_traffic(refresh=...)`` is enabled).
+#: ``bus_contention``
+#:     Write-to-read turnaround plus COL command-bus occupancy.
+#: ``pipeline``
+#:     The fixed command-to-data delay of each COL issued.
+#: ``transfer``
+#:     DATA packets of the request on the bus (t_PACK each).
+COMPONENTS = (
+    "queue_wait",
+    "bank_busy",
+    "refresh_blocked",
+    "bus_contention",
+    "pipeline",
+    "transfer",
+)
+
+
+def _active_ledger():
+    """The ambient run-ledger writer, if an execution() context set one.
+
+    Imported lazily: the exec layer depends on obs, not the other way
+    around, and plain traffic runs should not pay the import.
+    """
+    from repro.exec.context import active_ledger
+
+    return active_ledger()
 
 
 class BankBudgetRegulator:
@@ -136,6 +186,9 @@ class ChannelServer:
         latency: Histogram,
         bank_offset: int,
         regulator: Optional[BankBudgetRegulator] = None,
+        obs: Optional[Instrumentation] = None,
+        component_hists: Optional[Mapping[str, Histogram]] = None,
+        window: Optional[int] = None,
     ) -> None:
         self.index = index
         self.memory = memory
@@ -152,6 +205,22 @@ class ChannelServer:
         self.client_bank_bytes: Dict[Tuple[int, int], int] = {}
         self._busy_until = 0
         self._blocked_until: Optional[int] = None
+        # Latency attribution: the channel memory's instrumentation
+        # (its DataBusGap records are the source of truth), optional
+        # shared per-component histograms, and an optional telemetry
+        # window for per-(channel, bank) heatmap series.
+        self.obs = obs
+        self.component_hists = component_hists
+        self.window = window
+        self.component_cycles: Dict[str, int] = {
+            name: 0 for name in COMPONENTS
+        }
+        self.busy_cycles = 0
+        self._refresh_spans: List[Tuple[int, int]] = []
+        self._span_idx = 0
+        self._refresh_idx = 0
+        self._win_bank_bytes: Dict[Tuple[int, int], int] = {}
+        self._win_busy: Dict[int, int] = {}
 
     def enqueue(self, request: Request) -> None:
         self.queue.append(request)
@@ -174,6 +243,121 @@ class ChannelServer:
             self.regulator.deferrals += 1
         return None
 
+    def _sync_refresh_spans(self) -> None:
+        """Pull new refresh spans out of the shared tracer."""
+        if self.obs is None:
+            return
+        spans = self.obs.tracer.spans
+        while self._span_idx < len(spans):
+            span = spans[self._span_idx]
+            self._span_idx += 1
+            if span.track == "refresh" and span.name.startswith("refresh"):
+                self._refresh_spans.append((span.start, span.end))
+
+    def _classify_gap(
+        self, lo: int, gap: DataBusGap, comps: Dict[str, int]
+    ) -> None:
+        """Partition ``[lo, gap.end)`` into latency components.
+
+        Mirrors :func:`repro.obs.attribution.classify_stall_intervals`
+        front to back: leading turnaround, then refresh-covered
+        cycles, then the bank-readiness bound, then the COL bus, and
+        the remainder is the fixed command-to-data pipeline (the
+        request was issued at service start, so there is no
+        controller-idle bucket here).
+        """
+        cursor, hi = lo, gap.end
+        if cursor >= hi:
+            return
+        lead = min(max(gap.turnaround_until, cursor), hi)
+        if lead > cursor:
+            comps["bus_contention"] += lead - cursor
+            cursor = lead
+        spans = self._refresh_spans
+        while cursor < hi:
+            nxt = hi
+            for bound in (gap.bank_until, gap.colbus_until):
+                if cursor < bound < nxt:
+                    nxt = bound
+            while (
+                self._refresh_idx < len(spans)
+                and spans[self._refresh_idx][1] <= cursor
+            ):
+                self._refresh_idx += 1
+            in_refresh = False
+            if self._refresh_idx < len(spans):
+                start, end = spans[self._refresh_idx]
+                if start <= cursor:
+                    in_refresh = True
+                    if end < nxt:
+                        nxt = end
+                elif start < nxt:
+                    nxt = start
+            if in_refresh:
+                name = "refresh_blocked"
+            elif cursor < gap.bank_until:
+                name = "bank_busy"
+            elif cursor < gap.colbus_until:
+                name = "bus_contention"
+            else:
+                name = "pipeline"
+            comps[name] += nxt - cursor
+            cursor = nxt
+
+    def _note_window(self, bank: int, start: int, end: int) -> None:
+        """Tally one DATA packet into the telemetry windows."""
+        window = self.window
+        assert window is not None
+        self._win_bank_bytes[(start // window, bank)] = (
+            self._win_bank_bytes.get((start // window, bank), 0)
+            + DATA_PACKET_BYTES
+        )
+        cursor = start
+        while cursor < end:
+            index = cursor // window
+            edge = min(end, (index + 1) * window)
+            self._win_busy[index] = (
+                self._win_busy.get(index, 0) + edge - cursor
+            )
+            cursor = edge
+
+    def finalize_windows(
+        self, registry: MetricsRegistry, end_cycle: int
+    ) -> None:
+        """Emit the per-window heatmap series into ``registry``.
+
+        One dense ``traffic.bank_bytes{channel=,bank=}`` series per
+        bank the channel touched, plus a
+        ``traffic.channel_busy_cycles{channel=}`` occupancy series —
+        all windows from 0 through the run's end, zeros included, so
+        heatmap columns align across banks and channels.
+        """
+        window = self.window
+        if not window:
+            return
+        last = max(end_cycle - 1, 0) // window
+        for bank in sorted({bank for _, bank in self._win_bank_bytes}):
+            series = registry.series(
+                "traffic.bank_bytes",
+                help="bytes moved per telemetry window",
+                channel=self.index,
+                bank=bank,
+            )
+            for index in range(last + 1):
+                series.sample(
+                    float(index * window),
+                    float(self._win_bank_bytes.get((index, bank), 0)),
+                )
+        busy = registry.series(
+            "traffic.channel_busy_cycles",
+            help="DATA-bus busy cycles per telemetry window",
+            channel=self.index,
+        )
+        for index in range(last + 1):
+            busy.sample(
+                float(index * window), float(self._win_busy.get(index, 0))
+            )
+
     def tick(self, cycle: int) -> Tuple[()]:
         if not self.queue or cycle < self._busy_until:
             return ()
@@ -190,6 +374,8 @@ class ChannelServer:
         plans = page_manager is not None and page_manager.plans_precharge
         data_end = cycle
         first_bank = None
+        mark = len(self.obs.gaps) if self.obs is not None else 0
+        transfer = 0
         for offset in range(packets):
             location = self.mapping.decompose(
                 request.address + offset * DATA_PACKET_BYTES
@@ -204,10 +390,36 @@ class ChannelServer:
                 request.direction,
                 precharge=plans and offset == packets - 1,
             )
-            data_end = outcome.access.data.end
+            data = outcome.access.data
+            data_end = data.end
+            transfer += data.end - data.start
+            self.busy_cycles += data.end - data.start
+            if self.window:
+                self._note_window(location.bank, data.start, data.end)
             self.bank_bytes[location.bank] = (
                 self.bank_bytes.get(location.bank, 0) + DATA_PACKET_BYTES
             )
+        if self.obs is not None:
+            comps = dict.fromkeys(COMPONENTS, 0)
+            comps["queue_wait"] = cycle - request.arrival
+            comps["transfer"] = transfer
+            self._sync_refresh_spans()
+            for gap in self.obs.gaps[mark:]:
+                self._classify_gap(max(gap.start, cycle), gap, comps)
+            latency = data_end - request.arrival
+            accounted = sum(comps.values())
+            if accounted != latency:
+                raise ObservabilityError(
+                    f"latency attribution drifted on channel "
+                    f"{self.index}: components sum to {accounted} but "
+                    f"the request took {latency} cycles "
+                    f"(client {request.client}, arrival "
+                    f"{request.arrival})"
+                )
+            for name, spent in comps.items():
+                self.component_cycles[name] += spent
+                if self.component_hists is not None:
+                    self.component_hists[name].observe(float(spent))
         self._busy_until = data_end
         self.last_data_end = max(self.last_data_end, data_end)
         self.completed += 1
@@ -254,6 +466,13 @@ class TrafficResult:
             quantity the bank-budget regulator caps per window.
         regulated: Whether a bank-budget regulator was active.
         deferrals: Regulator deferral decisions (0 unregulated).
+        component_cycles: Total cycles per latency component (see
+            :data:`COMPONENTS`); their sum equals the sum of every
+            request's measured latency, exactly.
+        channel_busy_cycles: DATA-bus busy cycles per channel, in
+            channel order.
+        refreshes: Background refreshes issued across all channels
+            (0 unless ``run_traffic(refresh=...)`` was enabled).
     """
 
     organization: str
@@ -271,6 +490,9 @@ class TrafficResult:
     client_bank_bytes: Dict[Tuple[int, int], int] = field(default_factory=dict)
     regulated: bool = False
     deferrals: int = 0
+    component_cycles: Dict[str, int] = field(default_factory=dict)
+    channel_busy_cycles: Tuple[int, ...] = ()
+    refreshes: int = 0
 
     @property
     def channel_shares(self) -> Tuple[float, ...]:
@@ -306,16 +528,123 @@ class TrafficResult:
             for client, served in self.client_bytes.items()
         }
 
+    @property
+    def channel_utilization(self) -> Tuple[float, ...]:
+        """Each channel's DATA-bus busy fraction over the run."""
+        if self.cycles <= 0 or not self.channel_busy_cycles:
+            return tuple(0.0 for _ in self.channel_bytes)
+        return tuple(b / self.cycles for b in self.channel_busy_cycles)
+
+    def mean_component_cycles(self) -> Dict[str, float]:
+        """Mean cycles per request spent in each latency component."""
+        if self.requests <= 0:
+            return {name: 0.0 for name in self.component_cycles}
+        return {
+            name: spent / self.requests
+            for name, spent in self.component_cycles.items()
+        }
+
+    def component_shares(self) -> Dict[str, float]:
+        """Each component's fraction of the total request latency."""
+        total = sum(self.component_cycles.values())
+        if total <= 0:
+            return {name: 0.0 for name in self.component_cycles}
+        return {
+            name: spent / total
+            for name, spent in self.component_cycles.items()
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form; the inverse of :meth:`from_dict`."""
+        return {
+            "organization": self.organization,
+            "channels": self.channels,
+            "clients": self.clients,
+            "requests": self.requests,
+            "cycles": self.cycles,
+            "p50_latency": self.p50_latency,
+            "p90_latency": self.p90_latency,
+            "p99_latency": self.p99_latency,
+            "total_bytes": self.total_bytes,
+            "channel_bytes": list(self.channel_bytes),
+            "bank_bytes": {str(k): v for k, v in self.bank_bytes.items()},
+            "client_bytes": {
+                str(k): v for k, v in self.client_bytes.items()
+            },
+            "client_bank_bytes": {
+                f"{client}:{bank}": v
+                for (client, bank), v in self.client_bank_bytes.items()
+            },
+            "regulated": self.regulated,
+            "deferrals": self.deferrals,
+            "component_cycles": dict(self.component_cycles),
+            "channel_busy_cycles": list(self.channel_busy_cycles),
+            "refreshes": self.refreshes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "TrafficResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        def pair(text: str) -> Tuple[int, int]:
+            client, _, bank = text.partition(":")
+            return int(client), int(bank)
+
+        return cls(
+            organization=str(data["organization"]),
+            channels=int(data["channels"]),  # type: ignore[arg-type]
+            clients=int(data["clients"]),  # type: ignore[arg-type]
+            requests=int(data["requests"]),  # type: ignore[arg-type]
+            cycles=int(data["cycles"]),  # type: ignore[arg-type]
+            p50_latency=float(data["p50_latency"]),  # type: ignore[arg-type]
+            p90_latency=float(data["p90_latency"]),  # type: ignore[arg-type]
+            p99_latency=float(data["p99_latency"]),  # type: ignore[arg-type]
+            total_bytes=int(data["total_bytes"]),  # type: ignore[arg-type]
+            channel_bytes=tuple(data["channel_bytes"]),  # type: ignore[arg-type]
+            bank_bytes={
+                int(k): int(v)
+                for k, v in (data.get("bank_bytes") or {}).items()  # type: ignore[union-attr]
+            },
+            client_bytes={
+                int(k): int(v)
+                for k, v in (data.get("client_bytes") or {}).items()  # type: ignore[union-attr]
+            },
+            client_bank_bytes={
+                pair(k): int(v)
+                for k, v in (
+                    data.get("client_bank_bytes") or {}
+                ).items()  # type: ignore[union-attr]
+            },
+            regulated=bool(data.get("regulated", False)),
+            deferrals=int(data.get("deferrals", 0)),  # type: ignore[arg-type]
+            component_cycles={
+                str(k): int(v)
+                for k, v in (
+                    data.get("component_cycles") or {}
+                ).items()  # type: ignore[union-attr]
+            },
+            channel_busy_cycles=tuple(
+                data.get("channel_busy_cycles") or ()  # type: ignore[arg-type]
+            ),
+            refreshes=int(data.get("refreshes", 0)),  # type: ignore[arg-type]
+        )
+
     def summary(self) -> str:
         """One-line human-readable result."""
         shares = "/".join(f"{s:.0%}" for s in self.channel_shares)
-        return (
+        text = (
             f"{self.organization}: {self.requests} reqs from "
             f"{self.clients} clients in {self.cycles} cyc; latency "
             f"p50={self.p50_latency:.0f} p90={self.p90_latency:.0f} "
             f"p99={self.p99_latency:.0f}; channel shares {shares}"
-            + (f"; {self.deferrals} deferrals" if self.regulated else "")
         )
+        if self.channel_busy_cycles:
+            util = "/".join(
+                f"{u:.0%}" for u in self.channel_utilization
+            )
+            text += f"; util {util}"
+        if self.regulated:
+            text += f"; {self.deferrals} deferrals"
+        return text
 
 
 def run_traffic(
@@ -327,6 +656,8 @@ def run_traffic(
     regulator: Optional[BankBudgetRegulator] = None,
     registry: Optional[MetricsRegistry] = None,
     max_cycles: Optional[int] = None,
+    telemetry_window: Optional[int] = None,
+    refresh: Union[bool, int] = False,
 ) -> TrafficResult:
     """Drive an open-loop multi-client workload through the fabric.
 
@@ -341,16 +672,31 @@ def run_traffic(
         devices: Devices per channel, applied the same way.
         regulator: Optional per-client bank-budget regulator.
         registry: Metrics registry receiving the latency histogram
-            (``traffic.latency_cycles``); a private one is used when
-            omitted.
+            (``traffic.latency_cycles``) and the per-component
+            attribution histograms
+            (``traffic.latency_component_cycles{component=...}``); a
+            private one is used when omitted.
         max_cycles: Watchdog override.
+        telemetry_window: Sampling window, in cycles; when set, dense
+            per-(channel, bank) byte series and per-channel occupancy
+            series land in ``registry`` (heatmap-ready).  None (the
+            default) disables window sampling — runs pay nothing.
+        refresh: Enable per-channel background refresh engines; pass
+            True for the retention-window default cadence or an
+            integer interval in cycles.  Refresh interference shows up
+            in the ``refresh_blocked`` latency component.
 
     Returns:
-        The run's latency and bandwidth-share accounting.
+        The run's latency, attribution, and bandwidth-share
+        accounting.
     """
     import dataclasses
 
     config = config or MemorySystemConfig.cli()
+    if telemetry_window is not None and telemetry_window <= 0:
+        raise ConfigurationError(
+            f"telemetry window must be positive, got {telemetry_window}"
+        )
     if (channels, devices) != (1, 1):
         if not config.topology.single:
             raise ConfigurationError(
@@ -370,7 +716,9 @@ def run_traffic(
             f"one cacheline ({config.cacheline_bytes} B); no request could "
             "ever be admitted"
         )
-    registry = registry or MetricsRegistry()
+    # Not `registry or ...`: an empty registry is falsy but still the
+    # caller's registry, and the metrics must land in it.
+    registry = MetricsRegistry() if registry is None else registry
     mapping = get_address_mapping(config)
     memory = make_memory(
         timing=config.timing,
@@ -397,6 +745,30 @@ def run_traffic(
         bounds=LATENCY_BUCKETS,
         help="request latency (arrival to last DATA packet end), cycles",
     )
+    component_hists = {
+        name: registry.histogram(
+            "traffic.latency_component_cycles",
+            bounds=LATENCY_BUCKETS,
+            help="per-request latency attribution, cycles per component",
+            component=name,
+        )
+        for name in COMPONENTS
+    }
+    # One Instrumentation per channel memory: its DataBusGap records
+    # drive the per-request attribution, and (with refresh enabled)
+    # the refresh engine writes its spans into the same tracer.
+    channel_obs = [Instrumentation() for _ in channel_memories]
+    for channel_memory, obs in zip(channel_memories, channel_obs):
+        channel_memory.obs = obs
+    refresh_engines: List[RefreshEngine] = []
+    if refresh:
+        interval = (
+            DEFAULT_INTERVAL_CYCLES if refresh is True else int(refresh)
+        )
+        for channel_memory, obs in zip(channel_memories, channel_obs):
+            engine = RefreshEngine(channel_memory, interval=interval)
+            engine.obs = obs
+            refresh_engines.append(engine)
     servers = [
         ChannelServer(
             index=index,
@@ -406,14 +778,42 @@ def run_traffic(
             latency=latency,
             bank_offset=index * banks_per_channel,
             regulator=regulator,
+            obs=channel_obs[index],
+            component_hists=component_hists,
+            window=telemetry_window,
         )
         for index, channel_memory in enumerate(channel_memories)
     ]
     pump = ArrivalPump(generate_requests(workload, mapping), servers, mapping)
     if max_cycles is None:
         max_cycles = 50_000 + 600 * workload.requests
+    ledger = _active_ledger()
+    ledger_batch = 0
+    ledger_key = (
+        f"traffic/{config.describe()}/{workload.clients}c"
+        f"/{workload.requests}r/seed{workload.seed}"
+    )
+    if ledger is not None:
+        ledger_batch = ledger.begin_batch(1, 1)
+        for event in ("queued", "dispatched", "started"):
+            ledger.record(
+                event,
+                batch=ledger_batch,
+                index=0,
+                key=ledger_key,
+                label=(
+                    f"traffic {workload.clients} clients over "
+                    f"{config.topology.describe()}"
+                ),
+                worker="main",
+            )
+    wall_started = time.perf_counter()
     Simulation(
-        [pump, *servers],
+        [
+            pump,
+            *servers,
+            *(BackgroundComponent(engine) for engine in refresh_engines),
+        ],
         done=lambda sim: pump.done and all(server.idle for server in servers),
         max_cycles=max_cycles,
         label=(
@@ -421,6 +821,15 @@ def run_traffic(
             f"{config.topology.describe()}"
         ),
     ).run()
+    if ledger is not None:
+        ledger.record(
+            "completed",
+            batch=ledger_batch,
+            index=0,
+            key=ledger_key,
+            worker="main",
+            wall_s=time.perf_counter() - wall_started,
+        )
     bank_bytes: Dict[int, int] = {}
     client_bytes: Dict[int, int] = {}
     client_bank_bytes: Dict[Tuple[int, int], int] = {}
@@ -432,12 +841,18 @@ def run_traffic(
         for pair, served in server.client_bank_bytes.items():
             client_bank_bytes[pair] = client_bank_bytes.get(pair, 0) + served
     channel_bytes = tuple(m.bytes_transferred for m in channel_memories)
+    cycles = max(server.last_data_end for server in servers)
+    component_cycles = {name: 0 for name in COMPONENTS}
+    for server in servers:
+        for name, spent in server.component_cycles.items():
+            component_cycles[name] += spent
+        server.finalize_windows(registry, cycles)
     return TrafficResult(
         organization=config.describe(),
         channels=config.topology.channels,
         clients=workload.clients,
         requests=workload.requests,
-        cycles=max(server.last_data_end for server in servers),
+        cycles=cycles,
         p50_latency=latency.p50,
         p90_latency=latency.p90,
         p99_latency=latency.p99,
@@ -448,4 +863,11 @@ def run_traffic(
         client_bank_bytes=client_bank_bytes,
         regulated=regulator is not None,
         deferrals=regulator.deferrals if regulator is not None else 0,
+        component_cycles=component_cycles,
+        channel_busy_cycles=tuple(
+            server.busy_cycles for server in servers
+        ),
+        refreshes=sum(
+            engine.refreshes_issued for engine in refresh_engines
+        ),
     )

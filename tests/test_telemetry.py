@@ -122,6 +122,34 @@ class TestHistogram:
         with pytest.raises(ObservabilityError):
             Histogram("h", bounds=(2.0, 1.0))
 
+    def test_empty_percentiles_are_zero(self):
+        h = Histogram("h", bounds=(1.0, 2.0))
+        assert (h.p50, h.p90, h.p99) == (0.0, 0.0, 0.0)
+        assert h.mean == 0.0
+        assert h.min is None and h.max is None
+
+    def test_single_sample(self):
+        h = Histogram("h", bounds=(10.0, 20.0))
+        h.observe(15.0)
+        # Every percentile of a one-sample distribution is that
+        # sample's bucket; interpolation must not escape it.
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert 10.0 <= h.quantile(q) <= 20.0
+        assert h.min == h.max == 15.0
+
+    def test_all_identical_samples(self):
+        h = Histogram("h", bounds=(1.0, 4.0, 16.0))
+        for _ in range(50):
+            h.observe(4.0)
+        assert 1.0 <= h.p50 <= 4.0
+        assert 1.0 <= h.p99 <= 4.0
+        assert h.mean == pytest.approx(4.0)
+
+    def test_overflow_only_percentiles_use_observed_max(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(99.0)
+        assert h.p50 == 99.0
+
 
 # --------------------------------------------------------------- exporters
 
@@ -168,6 +196,40 @@ class TestExporters:
         path.write_text("not json\n")
         with pytest.raises(ObservabilityError):
             load_metrics_jsonl(path)
+
+    def test_labeled_histogram_jsonl_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        for component in ("queue_wait", "transfer"):
+            h = registry.histogram(
+                "latency", bounds=(8.0, 64.0), component=component
+            )
+            h.observe(10.0)
+            h.observe(100.0)
+        registry.series("bytes", channel=0, bank=3).sample(0, 32.0)
+        path = tmp_path / "m.jsonl"
+        write_metrics_jsonl(path, registry)
+        loaded = load_metrics_jsonl(path)
+        assert loaded == registry
+        clone = loaded.histogram(
+            "latency", bounds=(8.0, 64.0), component="transfer"
+        )
+        assert clone.count == 2 and clone.sum == 110.0
+
+    def test_prometheus_escapes_hostile_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c", path='back\\slash "quote"\nnewline'
+        ).inc(1)
+        text = to_prometheus(registry)
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("repro_c{")
+        )
+        # One physical line, with the three specials escaped per the
+        # text exposition format.
+        assert line == (
+            'repro_c{path="back\\\\slash \\"quote\\"\\nnewline"} 1'
+        )
 
 
 # --------------------------------------------------------------- telemetry

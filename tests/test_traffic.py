@@ -9,14 +9,19 @@ balanced per-channel bandwidth shares.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.memsys.address import get_address_mapping
 from repro.memsys.config import MemorySystemConfig, MemoryTopology
 from repro.obs.metrics import MetricsRegistry
+from repro.traffic.driver import LATENCY_BUCKETS
 from repro.traffic import (
+    COMPONENTS,
     BankBudgetRegulator,
+    TrafficResult,
     TrafficWorkload,
     generate_requests,
     run_traffic,
@@ -101,9 +106,10 @@ class TestSeededDeterminism:
             for registry in registries
         ]
         histograms = [
-            registry.histogram("traffic.latency_cycles")
+            registry.histogram("traffic.latency_cycles", LATENCY_BUCKETS)
             for registry in registries
         ]
+        assert histograms[0].count == SMALL.requests
         assert histograms[0].bucket_counts == histograms[1].bucket_counts
         assert results[0].p50_latency == results[1].p50_latency
         assert results[0].p99_latency == results[1].p99_latency
@@ -220,3 +226,120 @@ class TestTopologyArguments:
         result = run_traffic(workload=SMALL, channels=2)
         assert "p50=" in result.summary()
         assert "channel shares" in result.summary()
+        assert "util" in result.summary()
+
+
+class TestLatencyAttribution:
+    """Per-request latency decomposition and its exactness invariant."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"channels": 2},
+            {"channels": 2, "refresh": True},
+            {
+                "regulator": BankBudgetRegulator(
+                    window_cycles=512, budget_bytes=32
+                )
+            },
+        ],
+    )
+    def test_components_sum_to_total_latency(self, kwargs):
+        registry = MetricsRegistry()
+        workload = HOT if "regulator" in kwargs else SMALL
+        result = run_traffic(
+            workload=workload, registry=registry, **kwargs
+        )
+        assert set(result.component_cycles) == set(COMPONENTS)
+        latency = registry.histogram(
+            "traffic.latency_cycles", LATENCY_BUCKETS
+        )
+        # The closure invariant, checked per request inside the
+        # driver, must also hold in aggregate.
+        assert sum(result.component_cycles.values()) == int(latency.sum)
+        for name in COMPONENTS:
+            component = registry.histogram(
+                "traffic.latency_component_cycles",
+                LATENCY_BUCKETS,
+                component=name,
+            )
+            assert component.count == result.requests
+
+    def test_component_shares_and_means(self):
+        result = run_traffic(workload=SMALL)
+        shares = result.component_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        means = result.mean_component_cycles()
+        assert sum(means.values()) * result.requests == pytest.approx(
+            sum(result.component_cycles.values())
+        )
+        assert means["transfer"] > 0
+
+    def test_refresh_shows_up_as_refresh_blocked(self):
+        # An aggressive refresh cadence must steal cycles that the
+        # attribution pins on refresh_blocked, nowhere else.
+        quiet = run_traffic(workload=SMALL)
+        noisy = run_traffic(workload=SMALL, refresh=200)
+        assert quiet.refreshes == 0
+        assert noisy.refreshes > 0
+        assert quiet.component_cycles["refresh_blocked"] == 0
+        assert noisy.component_cycles["refresh_blocked"] > 0
+
+    def test_channel_utilization_reported(self):
+        result = run_traffic(workload=SMALL, channels=2)
+        assert len(result.channel_utilization) == 2
+        assert all(0.0 < u <= 1.0 for u in result.channel_utilization)
+
+
+class TestTelemetryWindow:
+    def test_windowed_series_reconcile(self):
+        registry = MetricsRegistry()
+        result = run_traffic(
+            workload=SMALL,
+            channels=2,
+            registry=registry,
+            telemetry_window=256,
+        )
+        bank_series = [
+            metric
+            for metric in registry.all()
+            if metric.name == "traffic.bank_bytes"
+        ]
+        assert bank_series
+        assert sum(s.total() for s in bank_series) == result.total_bytes
+        busy = [
+            metric
+            for metric in registry.all()
+            if metric.name == "traffic.channel_busy_cycles"
+        ]
+        assert len(busy) == 2
+        assert tuple(int(s.total()) for s in busy) == \
+            result.channel_busy_cycles
+        # Dense series: every window sampled, even all-zero ones.
+        windows = {len(s.samples) for s in bank_series + busy}
+        assert len(windows) == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_traffic(workload=SMALL, telemetry_window=0)
+
+    def test_window_sampling_is_bit_neutral(self):
+        plain = run_traffic(workload=SMALL, channels=2)
+        sampled = run_traffic(
+            workload=SMALL, channels=2, telemetry_window=64
+        )
+        assert plain.p50_latency == sampled.p50_latency
+        assert plain.cycles == sampled.cycles
+        assert plain.bank_bytes == sampled.bank_bytes
+
+
+class TestResultRoundTrip:
+    def test_to_dict_from_dict(self):
+        result = run_traffic(
+            workload=SMALL, channels=2, telemetry_window=128, refresh=True
+        )
+        clone = TrafficResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone == result
