@@ -104,6 +104,7 @@ class L2StreamingController:
             page_manager=self.page_manager,
         )
         self.address_map = get_address_mapping(config)
+        self.device.mapping = self.address_map
         self.refresh = refresh
         self.refreshes_issued = 0
         self.l2: Optional[CacheModel] = None

@@ -111,6 +111,7 @@ def build_smc_system(
         topology=config.topology if not config.topology.single else None,
         page_manager_factory=lambda: make_page_manager(config),
     )
+    device.mapping = address_map
     sbu = StreamBufferUnit.from_descriptors(
         placed,
         config,

@@ -116,8 +116,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list-policies",
         action="store_true",
-        help="list registered address mappings, page policies, and MSU "
-             "scheduling policies, then exit",
+        help="list registered address mappings, page policies, MSU "
+             "scheduling policies, traffic schedulers, and simulation "
+             "engines, then exit",
     )
     parser.add_argument(
         "--engine",

@@ -18,6 +18,11 @@ Three tables come out of it:
   (few clients, maximally skewed hot sets) with and without the
   per-client bank-budget regulator, showing the regulator trading a
   longer run for a bounded worst-client bank share.
+* **Request scheduling** — the Zipf hot-set population offered at
+  matched load (arrival rate near service capacity) under each
+  registered scheduler: FR-FCFS and MARS batching turn the hot rows'
+  requests into back-to-back page hits, cutting tail latency vs FCFS
+  at identical offered load.
 """
 
 from __future__ import annotations
@@ -25,10 +30,12 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.experiments.rendering import ExperimentTable
+from repro.memsys.config import MemorySystemConfig
 from repro.traffic import (
     COMPONENTS,
     BankBudgetRegulator,
     TrafficWorkload,
+    list_schedulers,
     run_traffic,
 )
 
@@ -53,6 +60,25 @@ HOT_WORKLOAD = TrafficWorkload(
 
 REGULATOR_WINDOW = 512
 REGULATOR_BUDGET = 32
+
+#: Zipf hot-set population at *matched* offered load for the
+#: scheduling table: the aggregate arrival rate sits just under the
+#: channel's service capacity, so queues form in bursts (where
+#: reordering can act) without the unbounded backlog of the abusive
+#: population (where the MARS starvation cap correctly forces FCFS).
+SCHED_WORKLOAD = TrafficWorkload(
+    clients=8,
+    requests=2048,
+    mean_gap=32.0,
+    zipf_s=2.0,
+    hot_lines=4,
+    hot_fraction=0.9,
+    seed=5,
+)
+
+#: The scheduling table runs open-page so batched same-row requests
+#: actually land as page hits.
+SCHED_CONFIG = MemorySystemConfig.cli(page_policy="open")
 
 
 def run(
@@ -142,4 +168,37 @@ def run(
         "client's sustained rate through any one bank at "
         f"{REGULATOR_BUDGET / REGULATOR_WINDOW:.3f} B/cyc."
     )
-    return [scaling, attribution, regulation]
+
+    scheduling = ExperimentTable(
+        title=(
+            "Request scheduling under the matched-load Zipf hot-set "
+            "workload"
+        ),
+        headers=(
+            "scheduler",
+            "p50 lat (cyc)",
+            "p90 lat (cyc)",
+            "p99 lat (cyc)",
+            "cycles",
+        ),
+    )
+    for name in list_schedulers():
+        result = run_traffic(
+            SCHED_CONFIG, workload=SCHED_WORKLOAD, scheduler=name
+        )
+        scheduling.add_row(
+            name,
+            round(result.p50_latency),
+            round(result.p90_latency),
+            round(result.p99_latency),
+            result.cycles,
+        )
+    scheduling.notes.append(
+        f"{SCHED_WORKLOAD.clients} clients, {SCHED_WORKLOAD.requests} "
+        f"requests at matched load (mean gap {SCHED_WORKLOAD.mean_gap} "
+        "cycles) over an open-page system; identical offered load per "
+        "row.  FR-FCFS and MARS serve hot-row batches back to back, "
+        "cutting p99 vs FCFS; under unbounded backlog the MARS "
+        "starvation age cap deliberately reverts to FCFS."
+    )
+    return [scaling, attribution, regulation, scheduling]

@@ -175,7 +175,8 @@ def _multi_client() -> Tables:
     return [
         (f"multi_client_{name}", table)
         for name, table in zip(
-            ("scaling", "attribution", "regulation"), multi_client.run()
+            ("scaling", "attribution", "regulation", "scheduling"),
+            multi_client.run(),
         )
     ]
 
@@ -188,3 +189,31 @@ def _policy_matrix() -> Tables:
             ("smc", "natural"), policy_matrix.run()
         )
     ]
+
+
+@register("policy_search", "Seeded evolve-and-evaluate search over the policy registries")
+def _policy_search() -> Tables:
+    # Imported lazily: repro.search depends on the traffic and exec
+    # layers only, and the experiments package must stay importable
+    # without pulling the search driver in at module-import time.
+    from repro.search import SearchConfig, run_search
+
+    result = run_search(SearchConfig(generations=3, population=6))
+    table = ExperimentTable(
+        title="Policy search: per-generation winners",
+        headers=("generation", "best genome", "score", "% of peak", "p99 (cyc)"),
+    )
+    for report in result.generations:
+        best = report.best
+        table.add_row(
+            report.index,
+            best.genome.key(),
+            best.score,
+            best.percent_of_peak,
+            best.p99_latency,
+        )
+    table.notes.append(
+        f"winner: {result.winner.genome.key()} (seed 0; fitness = "
+        "mean % of peak - p99/100 on the matched-load Zipf hot-set workload)"
+    )
+    return [("policy_search", table)]

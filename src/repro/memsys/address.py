@@ -17,6 +17,10 @@ name through the ``interleaving`` field.  Built-in mappings:
   row, so vertically aligned pages of different vectors (the aligned
   placement the paper identifies as pathological) spread across banks
   instead of all colliding in one.
+* **dream** — DReAM-style *stateful* swizzle whose permutation evolves
+  online: per-bank hit counters accumulate and the bank permutation
+  re-arranges at epoch boundaries when traffic concentrates (see
+  :class:`DreamInterleaving`).
 
 Every mapping is an exact bijection between byte addresses and
 (bank, row, column, byte-offset) tuples; the property-based tests
@@ -31,11 +35,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Type
+from typing import List, Type
 
 from repro.errors import ConfigurationError
 from repro.memsys.config import MemorySystemConfig, MemoryTopology
 from repro.rdram.timing import DATA_PACKET_BYTES
+from repro.registry import Registry
 
 
 @dataclass(frozen=True, order=True)
@@ -69,8 +74,17 @@ class AddressMapping:
     #: Registry name; also the ``interleaving`` spelling selecting it.
     name = "base"
 
+    #: True when the mapping carries online monitoring state: the
+    #: device model feeds it every issued access through
+    #: :meth:`observe_access` and it may re-arrange its bijection at
+    #: epoch boundaries.  Stateful mappings are routed to the event
+    #: kernel (the batch engine precomputes access plans, which a
+    #: mid-run re-arrangement would invalidate).
+    stateful = False
+
     def __init__(self, config: MemorySystemConfig) -> None:
         self.config = config
+        self.remap_events = 0
         geometry = config.geometry
         self._num_banks = geometry.num_banks
         self._page_bytes = geometry.page_bytes
@@ -151,6 +165,23 @@ class AddressMapping:
         """Channel owning a global bank index."""
         return 0
 
+    # -- online-monitoring hooks ----------------------------------------
+    # Static mappings ignore these; a mapping with ``stateful = True``
+    # receives every access the device model issues and may re-arrange
+    # its (still bijective) address map at epoch boundaries.
+
+    def observe_access(self, bank: int, row: int, now: int) -> int:
+        """Feed one issued access to the mapping's monitor state.
+
+        Called from :func:`repro.rdram.device.perform_access` when the
+        mapping is attached to the memory model and ``stateful``.
+
+        Returns:
+            Number of re-arrangement (remap) events this observation
+            triggered; static mappings return 0.
+        """
+        return 0
+
     # -- strategy hooks -------------------------------------------------
 
     def _decompose(self, address: int) -> Location:
@@ -160,27 +191,24 @@ class AddressMapping:
         raise NotImplementedError
 
 
-#: Registry of mapping strategies by name.
-MAPPINGS: Dict[str, Type[AddressMapping]] = {}
+#: Registry of mapping strategies by name (see :mod:`repro.registry`).
+MAPPINGS: Registry[Type[AddressMapping]] = Registry(
+    "address mapping",
+    class_label="mapping class",
+    unknown_template=(
+        "unknown address mapping {name!r}; registered mappings: {names}"
+    ),
+)
 
 
 def register_mapping(cls: Type[AddressMapping]) -> Type[AddressMapping]:
     """Class decorator adding a mapping to the registry by its name."""
-    if not cls.name or cls.name == AddressMapping.name:
-        raise ConfigurationError(
-            f"mapping class {cls.__name__} needs a non-default name"
-        )
-    if cls.name in MAPPINGS:
-        raise ConfigurationError(
-            f"address mapping {cls.name!r} registered twice"
-        )
-    MAPPINGS[cls.name] = cls
-    return cls
+    return MAPPINGS.register(cls)
 
 
 def list_mappings() -> List[str]:
     """Registered mapping names, sorted."""
-    return sorted(MAPPINGS)
+    return MAPPINGS.names()
 
 
 class ChannelStriping(AddressMapping):
@@ -217,10 +245,21 @@ class ChannelStriping(AddressMapping):
         self._capacity = channels * base._capacity
         self._bank_order = list(range(self._num_banks))
         self._bank_rank = list(range(self._num_banks))
+        self.remap_events = 0
+        # Statefulness is inherited from the wrapped mapping: the
+        # selector stage itself is a pure divmod.
+        self.stateful = base.stateful
 
     @property
     def channels(self) -> int:
         return self._channels
+
+    def observe_access(self, bank: int, row: int, now: int) -> int:
+        # Channel memories issue local bank indices, which are exactly
+        # the wrapped mapping's bank space.
+        events = self.base.observe_access(bank, row, now)
+        self.remap_events = self.base.remap_events
+        return events
 
     def channel_of(self, address: int) -> int:
         if not 0 <= address < self._capacity:
@@ -271,13 +310,7 @@ def get_address_mapping(config: MemorySystemConfig) -> AddressMapping:
             the registered names).
     """
     name = config.interleaving_name
-    try:
-        cls = MAPPINGS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown address mapping {name!r}; registered mappings: "
-            f"{', '.join(list_mappings())}"
-        ) from None
+    cls = MAPPINGS.resolve(name)
     if config.topology.single:
         return cls(config)
     per_channel = dataclasses.replace(
@@ -394,3 +427,83 @@ class SwizzleInterleaving(AddressMapping):
             + location.column * DATA_PACKET_BYTES
             + byte_offset
         )
+
+
+@register_mapping
+class DreamInterleaving(AddressMapping):
+    """DReAM-style dynamic re-arrangement of the bank bits.
+
+    Decomposes like :class:`SwizzleInterleaving` — page interleaving
+    with a row-dependent bank permutation — but the permutation
+    carries an evolving *shift* driven by online monitoring.  The
+    device model feeds every issued access through
+    :meth:`observe_access`; per-bank-slot hit counters accumulate and,
+    every ``remap_epoch_accesses`` accesses, the mapping checks for
+    imbalance.  When the hottest slot draws more than twice its fair
+    share of the epoch's traffic, the shift rotates by that slot's
+    index (plus one), re-spreading the hot pages over different banks
+    for subsequent accesses and counting one remap event.
+
+    At any instant the map is an exact bijection (the shift enters the
+    per-row permutation the same way swizzle's row term does); only
+    *which* bijection is active evolves.  Like the published DReAM
+    scheme, data migration on re-arrangement is not modeled — this is
+    a bandwidth/latency model, so a remap simply changes where future
+    decompositions land.
+    """
+
+    name = "dream"
+    stateful = True
+
+    def __init__(self, config: MemorySystemConfig) -> None:
+        super().__init__(config)
+        self.epoch_accesses = config.remap_epoch_accesses
+        self._shift = 0
+        self._observed = 0
+        self._slot_hits = [0] * self._num_banks
+
+    def _twist(self, rank: int, row: int) -> int:
+        if self._num_banks & (self._num_banks - 1) == 0:
+            return rank ^ ((row + self._shift) % self._num_banks)
+        return (rank + row + self._shift) % self._num_banks
+
+    def _untwist(self, rank: int, row: int) -> int:
+        if self._num_banks & (self._num_banks - 1) == 0:
+            return rank ^ ((row + self._shift) % self._num_banks)
+        return (rank - row - self._shift) % self._num_banks
+
+    def _decompose(self, address: int) -> Location:
+        page = address // self._page_bytes
+        row = page // self._num_banks
+        rank = self._twist(page % self._num_banks, row)
+        bank = self._bank_order[rank]
+        column = (address % self._page_bytes) // DATA_PACKET_BYTES
+        return Location(bank=bank, row=row, column=column)
+
+    def _compose(self, location: Location, byte_offset: int) -> int:
+        rank = self._untwist(self._bank_rank[location.bank], location.row)
+        page = location.row * self._num_banks + rank
+        return (
+            page * self._page_bytes
+            + location.column * DATA_PACKET_BYTES
+            + byte_offset
+        )
+
+    def observe_access(self, bank: int, row: int, now: int) -> int:
+        if 0 <= bank < self._num_banks:
+            self._slot_hits[self._bank_rank[bank]] += 1
+        self._observed += 1
+        if self._observed % self.epoch_accesses:
+            return 0
+        hits = self._slot_hits
+        self._slot_hits = [0] * self._num_banks
+        total = sum(hits)
+        peak = max(hits)
+        # Re-arrange only on real imbalance: the hottest slot drawing
+        # more than twice its fair share of the epoch's accesses.
+        if total == 0 or peak * self._num_banks <= 2 * total:
+            return 0
+        hottest = hits.index(peak)
+        self._shift = (self._shift + hottest + 1) % self._num_banks
+        self.remap_events += 1
+        return 1

@@ -145,6 +145,9 @@ class MemorySystemConfig:
         page_timeout_cycles: Idle cycles before the ``timeout`` page
             policy auto-precharges an open bank (ignored by the other
             policies).
+        remap_epoch_accesses: Accesses between re-arrangement
+            decisions for stateful mappings like ``dream`` (ignored by
+            the static mappings).
         topology: Channel/device multiplicity (defaults to the
             paper's single channel with a single device).  When the
             topology names multiple devices per channel, ``geometry``
@@ -158,6 +161,7 @@ class MemorySystemConfig:
     page_policy: Union[PagePolicy, str] = PagePolicy.CLOSED
     cacheline_bytes: int = 32
     page_timeout_cycles: int = 64
+    remap_epoch_accesses: int = 1024
     topology: MemoryTopology = field(default_factory=MemoryTopology)
 
     def __post_init__(self) -> None:
@@ -179,6 +183,11 @@ class MemorySystemConfig:
             raise ConfigurationError(
                 "page_timeout_cycles must be positive, got "
                 f"{self.page_timeout_cycles}"
+            )
+        if self.remap_epoch_accesses <= 0:
+            raise ConfigurationError(
+                "remap_epoch_accesses must be positive, got "
+                f"{self.remap_epoch_accesses}"
             )
         if self.cacheline_bytes % DATA_PACKET_BYTES:
             raise ConfigurationError(

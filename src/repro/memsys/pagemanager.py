@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple, Type, Union
 
 from repro.errors import ConfigurationError
 from repro.memsys.config import MemorySystemConfig, PagePolicy
+from repro.registry import Registry
 
 
 class PageManager:
@@ -91,27 +92,25 @@ class PageManager:
         """Clear per-run state (called by the memory model's reset)."""
 
 
-#: Registry of page-management strategies by name.
-PAGE_POLICIES: Dict[str, Type[PageManager]] = {}
+#: Registry of page-management strategies by name (see
+#: :mod:`repro.registry`).
+PAGE_POLICIES: Registry[Type[PageManager]] = Registry(
+    "page policy",
+    class_label="page-manager class",
+    unknown_template=(
+        "unknown page policy {name!r}; registered policies: {names}"
+    ),
+)
 
 
 def register_page_policy(cls: Type[PageManager]) -> Type[PageManager]:
     """Class decorator adding a manager to the registry by its name."""
-    if not cls.name or cls.name == PageManager.name:
-        raise ConfigurationError(
-            f"page-manager class {cls.__name__} needs a non-default name"
-        )
-    if cls.name in PAGE_POLICIES:
-        raise ConfigurationError(
-            f"page policy {cls.name!r} registered twice"
-        )
-    PAGE_POLICIES[cls.name] = cls
-    return cls
+    return PAGE_POLICIES.register(cls)
 
 
 def list_page_policies() -> List[str]:
     """Registered page-policy names, sorted."""
-    return sorted(PAGE_POLICIES)
+    return PAGE_POLICIES.names()
 
 
 def make_page_manager(config: MemorySystemConfig) -> PageManager:
@@ -122,14 +121,7 @@ def make_page_manager(config: MemorySystemConfig) -> PageManager:
             configuration's ``page_policy`` name (the message lists
             the registered names).
     """
-    name = config.page_policy_name
-    try:
-        cls = PAGE_POLICIES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown page policy {name!r}; registered policies: "
-            f"{', '.join(list_page_policies())}"
-        ) from None
+    cls = PAGE_POLICIES.resolve(config.page_policy_name)
     if cls is TimeoutPageManager:
         return TimeoutPageManager(timeout=config.page_timeout_cycles)
     return cls()

@@ -89,6 +89,7 @@ class NaturalOrderController:
             page_manager=self.page_manager,
         )
         self.address_map = get_address_mapping(config)
+        self.device.mapping = self.address_map
         self.refresh = refresh
         self.refreshes_issued = 0
 

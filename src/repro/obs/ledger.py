@@ -79,7 +79,9 @@ LIFECYCLE_EVENTS = (
 )
 
 #: Stream-framing events (not part of any one spec's lifecycle).
-META_EVENTS = ("ledger_open", "batch")
+#: ``generation`` frames one policy-search generation (see
+#: :mod:`repro.search`).
+META_EVENTS = ("ledger_open", "batch", "generation")
 
 #: Events that end a spec's lifecycle.
 TERMINAL_EVENTS = ("cache_hit", "completed", "failed")

@@ -249,6 +249,8 @@ class RambusChannel:
         self.obs: Optional[Instrumentation] = None
         #: Optional page-management strategy (see RdramDevice.page_manager).
         self.page_manager = None
+        #: Optional attached address mapping (see RdramDevice.mapping).
+        self.mapping = None
         self.banks: List[Bank] = [
             Bank(index=i, timing=self.timing)
             for i in range(self.geometry.num_banks)

@@ -296,6 +296,11 @@ def perform_access(
     )
     if first_cmd is None:
         first_cmd = access.col.start
+    mapping = getattr(memory, "mapping", None)
+    if mapping is not None and mapping.stateful:
+        remaps = mapping.observe_access(bank_index, row, now)
+        if remaps and memory.obs is not None:
+            memory.obs.counters.incr("device.remap_events", remaps)
     if memory.obs is not None:
         memory.obs.counters.incr(
             "device.page_hits" if page_hit else "device.page_misses"
@@ -348,6 +353,11 @@ class RdramDevice:
         #: :func:`perform_access`; None behaves like the open policy
         #: (callers decide precharge flags themselves).
         self.page_manager = None
+        #: Optional attached address mapping; a *stateful* mapping
+        #: (``mapping.stateful``) is fed every access by
+        #: :func:`perform_access` so it can re-arrange at epoch
+        #: boundaries.  None or a static mapping costs one branch.
+        self.mapping = None
         self.banks: List[Bank] = [
             Bank(index=i, timing=self.timing) for i in range(self.geometry.num_banks)
         ]

@@ -148,6 +148,7 @@ class MemoryFabric:
         self.record_trace = record_trace
         self.explicit_retire = explicit_retire
         self._obs: Optional[Instrumentation] = None
+        self._mapping = None
         self.channel_memories: List[object] = []
         for _ in range(channels):
             if isinstance(self.geometry.channel, ChannelGeometry):
@@ -214,6 +215,24 @@ class MemoryFabric:
                 "(pass page_manager_factory when building it); a single "
                 "shared manager would collide on local bank indices"
             )
+
+    @property
+    def mapping(self):
+        """Shared address mapping, propagated to every channel.
+
+        Channel memories issue channel-local bank indices, so the
+        attached mapping must accept local banks in
+        ``observe_access`` — :class:`~repro.memsys.address.ChannelStriping`
+        delegates to its per-channel base mapping, which is exactly
+        that bank space.
+        """
+        return self._mapping
+
+    @mapping.setter
+    def mapping(self, mapping) -> None:
+        self._mapping = mapping
+        for memory in self.channel_memories:
+            memory.mapping = mapping
 
     @property
     def bytes_transferred(self) -> int:

@@ -1,0 +1,40 @@
+"""Evolve-and-evaluate search over the policy registries.
+
+The policy layer exposes three orthogonal registries — address
+mappings, page policies, request schedulers — plus tuning knobs
+(reorder window, starvation age cap, re-arrangement epoch, page
+timeout).  This package searches that space: seeded populations of
+:class:`~repro.search.genome.PolicyGenome` candidates are scored on
+closed-loop bandwidth (through :func:`~repro.exec.pool.run_specs`
+and the warm result cache) and open-loop tail latency, winners
+survive, mutations explore.  Exposed as the ``policy_search``
+experiment and the ``repro-search`` CLI.
+"""
+
+from repro.search.genome import (
+    MUTATION_FIELDS,
+    PolicyGenome,
+    mutate,
+    random_genome,
+)
+from repro.search.driver import (
+    SEARCH_WORKLOAD,
+    EvaluatedGenome,
+    GenerationReport,
+    SearchConfig,
+    SearchResult,
+    run_search,
+)
+
+__all__ = [
+    "EvaluatedGenome",
+    "GenerationReport",
+    "MUTATION_FIELDS",
+    "PolicyGenome",
+    "SEARCH_WORKLOAD",
+    "SearchConfig",
+    "SearchResult",
+    "mutate",
+    "random_genome",
+    "run_search",
+]

@@ -1,0 +1,112 @@
+"""``repro-search``: the policy-search command-line interface.
+
+Runs a seeded evolve-and-evaluate search over the policy registries
+(address mappings x page policies x request schedulers plus their
+tuning knobs) and prints the per-generation winners.  The execution
+plumbing mirrors ``repro-experiments``: ``--cache`` keeps results
+warm across generations and across whole searches, ``--ledger``
+records every spec lifecycle plus one ``generation`` frame per round,
+``--workers`` fans the closed-loop evaluations out over processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.exec import execution
+from repro.exec.stats import SweepStats
+from repro.search.driver import SearchConfig, run_search
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description=(
+            "evolve-and-evaluate policy search over the mapping, "
+            "page-policy, and scheduler registries"
+        ),
+    )
+    parser.add_argument(
+        "--generations", type=int, default=3,
+        help="evolve-and-evaluate rounds (default 3)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=8,
+        help="genomes per generation (default 8)",
+    )
+    parser.add_argument(
+        "--elites", type=int, default=3,
+        help="genomes carried verbatim between generations (default 3)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="search PRNG seed; same seed, same winners (default 0)",
+    )
+    parser.add_argument(
+        "--length", type=int, default=128,
+        help="stream length of the closed-loop runs (default 128)",
+    )
+    parser.add_argument(
+        "--fifo-depth", type=int, default=32,
+        help="SMC FIFO depth of the closed-loop runs (default 32)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for the closed-loop evaluations",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="result-cache directory (warm across generations/searches)",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="append lifecycle + generation events to this JSONL file",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print sweep execution stats (cache hits, wall time)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full result (all generations) as JSON",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = SearchConfig(
+            generations=args.generations,
+            population=args.population,
+            elites=args.elites,
+            seed=args.seed,
+            length=args.length,
+            fifo_depth=args.fifo_depth,
+        )
+        stats = SweepStats() if args.stats else None
+        with execution(
+            workers=args.workers,
+            cache=args.cache,
+            stats=stats,
+            ledger=args.ledger,
+        ):
+            result = run_search(config)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+    if stats is not None:
+        print(stats.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -45,7 +45,8 @@ from repro.cpu.kernels import Kernel
 from repro.cpu.streams import Alignment, Direction, StreamDescriptor, place_streams
 from repro.core.fifo import build_access_units
 from repro.core.policies import RoundRobinPolicy, SchedulingPolicy
-from repro.memsys.address import get_address_mapping
+from repro.memsys.address import MAPPINGS, get_address_mapping
+from repro.registry import Registry
 from repro.memsys.config import ELEMENT_BYTES, MemorySystemConfig
 from repro.memsys.pagemanager import make_page_manager
 from repro.rdram.bank import NEVER
@@ -60,15 +61,21 @@ try:  # numpy ships in the test/benchmark environment but is optional.
 except ImportError:  # pragma: no cover - exercised via _scalar_plan tests
     _np = None  # type: ignore[assignment]
 
-#: The registered engine names, in documentation order.
-ENGINES: Tuple[str, ...] = ("event", "batch", "auto")
+#: The engine registry: name -> one-line description, in
+#: documentation order (compares equal to the tuple of its names, so
+#: ``ENGINES == ("event", "batch", "auto")`` keeps holding).
+ENGINES: Registry[str] = Registry(
+    "engine",
+    unknown_template="unknown engine {name!r}; use one of {names}",
+    sort_listing=False,
+)
+ENGINES.add("event", "the discrete-event kernel; supports every configuration")
+ENGINES.add("batch", "vectorized fast path; bit-identical, core configs only")
+ENGINES.add("auto", "batch when the configuration supports it, else event")
 
-#: One-line description per engine (for ``--list-engines``).
-ENGINE_DESCRIPTIONS = {
-    "event": "the discrete-event kernel; supports every configuration",
-    "batch": "vectorized fast path; bit-identical, core configs only",
-    "auto": "batch when the configuration supports it, else event",
-}
+#: Back-compat alias: ``ENGINE_DESCRIPTIONS[name]`` is the one-line
+#: description, exactly as the historical plain dict behaved.
+ENGINE_DESCRIPTIONS: Registry[str] = ENGINES
 
 #: MSU idle sentinel, mirrored from :mod:`repro.core.msu` (imported
 #: by value to keep this module free of the object model's hot path).
@@ -83,9 +90,7 @@ def canonical_engine(name: str) -> str:
     """
     lowered = str(name).lower()
     if lowered not in ENGINES:
-        raise ConfigurationError(
-            f"unknown engine {name!r}; use one of {', '.join(ENGINES)}"
-        )
+        raise ENGINES.unknown_error(name)
     return lowered
 
 
@@ -134,6 +139,12 @@ def batch_unsupported_reason(
         return "multi-device channel geometries need the event engine"
     if geometry.doubled_banks:
         return "double-bank cores need the event engine"
+    mapping_cls = MAPPINGS.get(config.interleaving_name)
+    if mapping_cls is not None and mapping_cls.stateful:
+        return (
+            f"address mapping {config.interleaving_name!r} is stateful "
+            "(online re-arrangement needs the event engine)"
+        )
     if config.page_policy_name not in ("closed", "open"):
         return (
             f"page policy {config.page_policy_name!r} has runtime "

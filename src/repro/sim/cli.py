@@ -40,7 +40,8 @@ from repro.obs.metrics import write_metrics_jsonl
 from repro.rdram.audit import audit_trace
 from repro.rdram.tracefmt import render_trace
 from repro.exec import execution
-from repro.sim.batch import ENGINES, list_engines
+from repro.sim.batch import ENGINE_DESCRIPTIONS, ENGINES, list_engines
+from repro.traffic.scheduling import SCHEDULERS, list_schedulers
 from repro.sim.engine import run_smc
 from repro.sim.metrics import bank_imbalance, measure_trace
 from repro.sim.runner import (
@@ -98,8 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "--list-policies)")
     parser.add_argument("--list-policies", action="store_true",
                         help="list registered address mappings, page "
-                             "policies, and MSU scheduling policies, "
-                             "then exit")
+                             "policies, MSU scheduling policies, "
+                             "traffic schedulers, and simulation "
+                             "engines, then exit")
     parser.add_argument("--engine", default="auto",
                         choices=ENGINES,
                         help="simulation engine: the discrete-event "
@@ -197,7 +199,12 @@ def _require_trace(trace, flag: str):
 
 
 def list_policies() -> str:
-    """The registered policy tables, one name per line."""
+    """The registered policy tables, one name per line.
+
+    One unified listing across every registry a run can draw from:
+    address mappings, page policies, MSU scheduling policies, traffic
+    request schedulers, and simulation engines.
+    """
     lines = ["address mappings (--interleaving):"]
     for name in list_mappings():
         lines.append(f"  {name:12s} {MAPPINGS[name].__doc__.splitlines()[0]}")
@@ -209,6 +216,14 @@ def list_policies() -> str:
     lines.append("MSU scheduling policies (--policy):")
     for name in sorted(POLICIES):
         lines.append(f"  {name:12s} {POLICIES[name].__doc__.splitlines()[0]}")
+    lines.append("traffic schedulers (run_traffic scheduler=..., repro-search):")
+    for name in list_schedulers():
+        lines.append(
+            f"  {name:12s} {SCHEDULERS[name].__doc__.splitlines()[0]}"
+        )
+    lines.append("simulation engines (--engine):")
+    for name in ENGINES:
+        lines.append(f"  {name:12s} {ENGINE_DESCRIPTIONS[name]}")
     return "\n".join(lines)
 
 

@@ -201,6 +201,8 @@ def _config_to_dict(config: MemorySystemConfig) -> Dict[str, Any]:
     # configs predating the field are unchanged.
     if config.page_timeout_cycles != 64:
         data["page_timeout_cycles"] = config.page_timeout_cycles
+    if config.remap_epoch_accesses != 1024:
+        data["remap_epoch_accesses"] = config.remap_epoch_accesses
     if not config.topology.single:
         data["topology"] = {
             "channels": config.topology.channels,
@@ -218,6 +220,7 @@ def _config_from_dict(data: Mapping[str, Any]) -> MemorySystemConfig:
         page_policy=data["page_policy"],
         cacheline_bytes=data["cacheline_bytes"],
         page_timeout_cycles=data.get("page_timeout_cycles", 64),
+        remap_epoch_accesses=data.get("remap_epoch_accesses", 1024),
         topology=(
             MemoryTopology(**topology) if topology else MemoryTopology()
         ),
@@ -438,11 +441,16 @@ class RunSpec:
                 interleaving=base.interleaving,
                 page_policy=base.page_policy,
                 page_timeout_cycles=base.page_timeout_cycles,
+                remap_epoch_accesses=base.remap_epoch_accesses,
             )
             if restored == base:
-                if config.page_timeout_cycles != base.page_timeout_cycles:
-                    # The timeout knob has no override field; keep the
-                    # config structural so the value is preserved.
+                if (
+                    config.page_timeout_cycles != base.page_timeout_cycles
+                    or config.remap_epoch_accesses
+                    != base.remap_epoch_accesses
+                ):
+                    # These knobs have no override field; keep the
+                    # config structural so the values are preserved.
                     return
                 object.__setattr__(self, "organization", name)
                 if config.interleaving_name != base.interleaving_name:

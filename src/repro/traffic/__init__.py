@@ -7,6 +7,9 @@ clients with Zipf-distributed hot sets and seeded Poisson arrivals —
 and drives it through the channel fabric as kernel components,
 reporting latency percentiles, per-bank/per-channel bandwidth shares,
 and (optionally) the effect of per-client bank-budget regulation.
+Request-scheduling policy is pluggable through the
+:data:`~repro.traffic.scheduling.SCHEDULERS` registry (FCFS,
+first-ready FCFS, and MARS-style batch reordering built in).
 """
 
 from repro.traffic.workload import Request, TrafficWorkload, generate_requests
@@ -16,13 +19,25 @@ from repro.traffic.driver import (
     TrafficResult,
     run_traffic,
 )
+from repro.traffic.scheduling import (
+    SCHEDULERS,
+    Scheduler,
+    list_schedulers,
+    make_scheduler,
+    register_scheduler,
+)
 
 __all__ = [
     "BankBudgetRegulator",
     "COMPONENTS",
     "Request",
+    "SCHEDULERS",
+    "Scheduler",
     "TrafficResult",
     "TrafficWorkload",
     "generate_requests",
+    "list_schedulers",
+    "make_scheduler",
+    "register_scheduler",
     "run_traffic",
 ]

@@ -48,6 +48,7 @@ from repro.rdram.fabric import MemoryFabric
 from repro.rdram.refresh import DEFAULT_INTERVAL_CYCLES, RefreshEngine
 from repro.rdram.timing import DATA_PACKET_BYTES
 from repro.sim.kernel import BackgroundComponent, Simulation
+from repro.traffic.scheduling import Scheduler, make_scheduler
 from repro.traffic.workload import Request, TrafficWorkload, generate_requests
 
 #: Latency histogram bucket bounds, in interface-clock cycles.
@@ -168,13 +169,18 @@ class ArrivalPump:
 
 
 class ChannelServer:
-    """Serves one channel's queue FCFS against its private memory.
+    """Serves one channel's queue against its private memory.
 
     One server per channel; each is an independent kernel component,
     so service on one channel never blocks another.  A request
     occupies the server from issue until its last DATA packet ends
     (one transaction in flight per channel), which is what makes the
     per-window budget accounting of the regulator meaningful.
+
+    *Which* pending request is served next is delegated to the
+    server's :class:`~repro.traffic.scheduling.Scheduler` (FCFS by
+    default — the historical behavior, byte-identical).  Schedulers
+    may carry reordering state, so each server owns its own instance.
     """
 
     def __init__(
@@ -189,6 +195,7 @@ class ChannelServer:
         obs: Optional[Instrumentation] = None,
         component_hists: Optional[Mapping[str, Histogram]] = None,
         window: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
         self.index = index
         self.memory = memory
@@ -197,6 +204,7 @@ class ChannelServer:
         self.latency = latency
         self.bank_offset = bank_offset
         self.regulator = regulator
+        self.scheduler = scheduler if scheduler is not None else make_scheduler("fcfs")
         self.queue: Deque[Request] = deque()
         self.completed = 0
         self.last_data_end = 0
@@ -231,17 +239,8 @@ class ChannelServer:
         return not self.queue
 
     def _pick(self, cycle: int) -> Optional[Request]:
-        """The first queued request the regulator admits (FCFS)."""
-        if self.regulator is None:
-            return self.queue.popleft() if self.queue else None
-        line_bytes = self.config.cacheline_bytes
-        for position, request in enumerate(self.queue):
-            bank = self.mapping.decompose(request.address).bank
-            if self.regulator.allows(request.client, bank, line_bytes, cycle):
-                del self.queue[position]
-                return request
-            self.regulator.deferrals += 1
-        return None
+        """The request the scheduler serves next (regulator-admitted)."""
+        return self.scheduler.pick(self, cycle)
 
     def _sync_refresh_spans(self) -> None:
         """Pull new refresh spans out of the shared tracer."""
@@ -473,6 +472,8 @@ class TrafficResult:
             channel order.
         refreshes: Background refreshes issued across all channels
             (0 unless ``run_traffic(refresh=...)`` was enabled).
+        scheduler: Registry name of the request scheduler the
+            channels ran (``fcfs`` is the historical default).
     """
 
     organization: str
@@ -493,6 +494,7 @@ class TrafficResult:
     component_cycles: Dict[str, int] = field(default_factory=dict)
     channel_busy_cycles: Tuple[int, ...] = ()
     refreshes: int = 0
+    scheduler: str = "fcfs"
 
     @property
     def channel_shares(self) -> Tuple[float, ...]:
@@ -580,6 +582,7 @@ class TrafficResult:
             "component_cycles": dict(self.component_cycles),
             "channel_busy_cycles": list(self.channel_busy_cycles),
             "refreshes": self.refreshes,
+            "scheduler": self.scheduler,
         }
 
     @classmethod
@@ -626,6 +629,7 @@ class TrafficResult:
                 data.get("channel_busy_cycles") or ()  # type: ignore[arg-type]
             ),
             refreshes=int(data.get("refreshes", 0)),  # type: ignore[arg-type]
+            scheduler=str(data.get("scheduler", "fcfs")),
         )
 
     def summary(self) -> str:
@@ -658,6 +662,7 @@ def run_traffic(
     max_cycles: Optional[int] = None,
     telemetry_window: Optional[int] = None,
     refresh: Union[bool, int] = False,
+    scheduler: Union[str, Scheduler, None] = None,
 ) -> TrafficResult:
     """Drive an open-loop multi-client workload through the fabric.
 
@@ -685,6 +690,12 @@ def run_traffic(
             True for the retention-window default cadence or an
             integer interval in cycles.  Refresh interference shows up
             in the ``refresh_blocked`` latency component.
+        scheduler: Request-scheduling strategy: a registry name
+            (``fcfs``, ``frfcfs``, ``mars`` — each channel gets its
+            own instance) or a prebuilt
+            :class:`~repro.traffic.scheduling.Scheduler` (single
+            channel only; schedulers carry per-channel state).  None
+            means FCFS, the historical behavior.
 
     Returns:
         The run's latency, attribution, and bandwidth-share
@@ -719,6 +730,22 @@ def run_traffic(
     # Not `registry or ...`: an empty registry is falsy but still the
     # caller's registry, and the metrics must land in it.
     registry = MetricsRegistry() if registry is None else registry
+    if scheduler is None:
+        scheduler = "fcfs"
+    if isinstance(scheduler, str):
+        scheduler_name = scheduler
+        make_scheduler(scheduler_name)  # fail fast on unknown names
+        scheduler_for = lambda index: make_scheduler(scheduler_name)  # noqa: E731
+    else:
+        scheduler_name = scheduler.name
+        instance = scheduler
+        if config.topology.channels > 1:
+            raise ConfigurationError(
+                "a prebuilt scheduler instance cannot be shared across "
+                f"{config.topology.channels} channels (schedulers carry "
+                "per-channel state); pass the registry name instead"
+            )
+        scheduler_for = lambda index: instance  # noqa: E731
     mapping = get_address_mapping(config)
     memory = make_memory(
         timing=config.timing,
@@ -730,6 +757,9 @@ def run_traffic(
         ),
         page_manager_factory=lambda: make_page_manager(config),
     )
+    # Attach the mapping so stateful mappings (dream) are fed every
+    # issued access; static mappings cost one branch per access.
+    memory.mapping = mapping
     channel_memories = (
         memory.channel_memories
         if isinstance(memory, MemoryFabric)
@@ -781,6 +811,7 @@ def run_traffic(
             obs=channel_obs[index],
             component_hists=component_hists,
             window=telemetry_window,
+            scheduler=scheduler_for(index),
         )
         for index, channel_memory in enumerate(channel_memories)
     ]
@@ -793,6 +824,9 @@ def run_traffic(
         f"traffic/{config.describe()}/{workload.clients}c"
         f"/{workload.requests}r/seed{workload.seed}"
     )
+    if scheduler_name != "fcfs":
+        # Historical keys stay unchanged for the default scheduler.
+        ledger_key += f"/sched-{scheduler_name}"
     if ledger is not None:
         ledger_batch = ledger.begin_batch(1, 1)
         for event in ("queued", "dispatched", "started"):
@@ -870,4 +904,5 @@ def run_traffic(
         refreshes=sum(
             engine.refreshes_issued for engine in refresh_engines
         ),
+        scheduler=scheduler_name,
     )

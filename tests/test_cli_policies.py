@@ -8,16 +8,24 @@ import pytest
 
 from repro.experiments import policy_matrix
 from repro.experiments.cli import main as experiments_main
+from repro.search.cli import main as search_main
 from repro.sim.cli import main as simulate_main
 
 
 class TestSimulateCli:
     def test_list_policies(self, capsys):
+        # One unified listing across every registry: mappings (incl.
+        # the stateful dream map), page policies, MSU policies,
+        # traffic schedulers, and simulation engines.
         assert simulate_main(["--list-policies"]) == 0
         out = capsys.readouterr().out
-        for name in ("cli", "pi", "swizzle", "closed", "open", "timeout",
-                     "hybrid", "round-robin"):
+        for name in ("cli", "pi", "swizzle", "dream", "closed", "open",
+                     "timeout", "hybrid", "round-robin",
+                     "fcfs", "frfcfs", "mars", "event", "batch", "auto"):
             assert name in out
+        for section in ("address mappings", "page policies",
+                        "traffic schedulers", "simulation engines"):
+            assert section in out
 
     def test_kernel_required_without_list(self, capsys):
         assert simulate_main([]) == 1
@@ -68,7 +76,10 @@ def reset_matrix_filters():
 class TestExperimentsCli:
     def test_list_policies(self, capsys):
         assert experiments_main(["--list-policies"]) == 0
-        assert "swizzle" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "swizzle" in out
+        assert "traffic schedulers" in out
+        assert "simulation engines" in out
 
     def test_policy_matrix_filters(self, capsys, reset_matrix_filters):
         assert experiments_main(
@@ -85,3 +96,27 @@ class TestExperimentsCli:
     ):
         with pytest.raises(SystemExit, match="swizzle"):
             experiments_main(["policy_matrix", "--interleaving", "zorp"])
+
+
+class TestSearchCli:
+    SMALL = ["--generations", "1", "--population", "2",
+             "--elites", "1", "--length", "64"]
+
+    def test_summary_output(self, capsys):
+        assert search_main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "gen 0: best" in out
+        assert "winner:" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        assert search_main(
+            self.SMALL + ["--json", "--cache", str(tmp_path / "cache")]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["winner"]["genome"]
+        assert len(report["generations"]) == 1
+
+    def test_bad_config_is_a_clean_error(self, capsys):
+        assert search_main(["--generations", "0"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "generation" in err

@@ -168,6 +168,7 @@ class TestRegistry:
             "figure1", "figure2", "timelines", "figure7", "figure8",
             "figure9", "headline", "channel", "refresh", "doublebank",
             "cache", "l2", "fpm", "multi_client", "policy_matrix",
+            "policy_search",
         }
 
     def test_cli_default_list_comes_from_registry(self):
